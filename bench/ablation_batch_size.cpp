@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation (beyond the paper): sensitivity to the query batch size.
+ * The paper fixes batch = 32 items per query (Section V-C); this sweep
+ * shows how batch size moves the dense/sparse balance and with it the
+ * memory savings: larger batches amortize the framework's per-query
+ * dispatch over more items, pushing both layer types toward their
+ * throughput limits.
+ */
+
+#include "bench_util.h"
+
+using namespace erec;
+
+int
+main()
+{
+    bench::quietLogs();
+    bench::banner("Ablation: query batch size (RM1-based, CPU-only, "
+                  "100 QPS)",
+                  "paper fixes batch = 32; sweep 8..128");
+
+    const auto node = hw::cpuOnlyNode();
+    TablePrinter t({"batch", "MW QPS/replica", "dense ms", "sparse ms",
+                    "MW memory", "ER memory", "reduction",
+                    "shards/table"});
+    for (std::uint32_t batch : {8u, 16u, 32u, 64u, 128u}) {
+        auto config = model::rm1();
+        config.batchSize = batch;
+        // Queries per second of *items* held constant: a target of 100
+        // batch-32 queries/sec equals 3200 items/sec.
+        const double target = 100.0 * 32.0 / batch;
+
+        core::Planner planner(config, node);
+        const auto cdf = sim::cdfFor(config);
+        const auto er = planner.planElasticRec({cdf});
+        const auto mw = planner.planModelWise();
+        const auto &mono = mw.frontendShard();
+        const auto er_mem =
+            sim::evaluateStatic(er, node, target).memory;
+        const auto mw_mem =
+            sim::evaluateStatic(mw, node, target).memory;
+        t.addRow({TablePrinter::num(static_cast<std::int64_t>(batch)),
+                  TablePrinter::num(mono.qpsPerReplica, 1),
+                  TablePrinter::num(
+                      units::toMillis(mono.stageLatencies[0]), 1),
+                  TablePrinter::num(
+                      units::toMillis(mono.stageLatencies[1]), 1),
+                  units::formatBytes(mw_mem),
+                  units::formatBytes(er_mem),
+                  TablePrinter::ratio(static_cast<double>(mw_mem) /
+                                      er_mem),
+                  TablePrinter::num(static_cast<std::int64_t>(
+                      er.tableShards(0).size()))});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation (beyond the paper): load-balancing policy across shard
+ * replicas. The paper routes with Linkerd (whose default is
+ * power-of-two-choices); this sweep compares round-robin, full
+ * least-loaded scanning and P2C on tail latency under the same
+ * steady ElasticRec deployment.
+ */
+
+#include "bench_util.h"
+
+#include "elasticrec/sim/cluster_sim.h"
+
+using namespace erec;
+
+int
+main()
+{
+    bench::quietLogs();
+    bench::banner("Ablation: load-balancing policy (RM1 ElasticRec, "
+                  "CPU-only, 90 QPS steady)",
+                  "Linkerd's P2C should land near least-loaded at a "
+                  "fraction of the cost");
+
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    const auto plans = bench::makePlans(config, node);
+
+    TablePrinter t({"policy", "achieved QPS", "mean ms", "p95 ms",
+                    "SLA violations"});
+    for (auto policy :
+         {cluster::LbPolicy::RoundRobin, cluster::LbPolicy::LeastLoaded,
+          cluster::LbPolicy::PowerOfTwoChoices}) {
+        sim::SimOptions opt;
+        opt.seed = 31;
+        opt.lbPolicy = policy;
+        const auto result = sim::runSteadyState(
+            plans.elasticRec, node, 90.0, 120 * units::kSecond, opt);
+        t.addRow({cluster::toString(policy),
+                  TablePrinter::num(result.achievedQps, 1),
+                  TablePrinter::num(result.meanLatencyMs, 1),
+                  TablePrinter::num(result.p95LatencyMs, 1),
+                  TablePrinter::percent(result.slaViolationFraction)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 3: the fraction of FLOPs, memory consumption and end-to-end
+ * inference latency attributable to the sparse embedding layers versus
+ * the dense DNN layers, for RM1/RM2/RM3 on CPU-only and CPU-GPU
+ * platforms.
+ *
+ * Paper reference points: dense layers account for ~98-99.9% of FLOPs
+ * but only ~0.02-0.4% of memory; for RM1 the dense layers take 67% of
+ * CPU-only latency and 19% of CPU-GPU latency.
+ */
+
+#include "bench_util.h"
+
+using namespace erec;
+
+int
+main()
+{
+    bench::quietLogs();
+    bench::banner("Figure 3: sparse vs dense layer breakdown",
+                  "dense ~98%+ of FLOPs, ~0.02-0.4% of memory; RM1 "
+                  "dense latency 67% (CPU-only) / 19% (CPU-GPU)");
+
+    TablePrinter flops({"model", "dense FLOPs", "sparse FLOPs",
+                        "sparse FLOP %", "dense mem %",
+                        "sparse mem %"});
+    for (const auto &config : model::tableIIModels()) {
+        flops.addRow(
+            {config.name,
+             TablePrinter::num(static_cast<std::int64_t>(
+                 config.denseFlopsPerQuery())),
+             TablePrinter::num(static_cast<std::int64_t>(
+                 config.sparseFlopsPerQuery())),
+             TablePrinter::percent(config.sparseFlopsFraction()),
+             TablePrinter::percent(config.denseMemoryFraction(), 4),
+             TablePrinter::percent(1.0 - config.denseMemoryFraction(),
+                                   4)});
+    }
+    std::cout << "\n(a) FLOPs and memory consumption "
+                 "(architecture-independent)\n";
+    flops.print(std::cout);
+
+    std::cout << "\n(b) End-to-end inference latency split (model-wise "
+                 "server)\n";
+    TablePrinter lat({"model", "platform", "dense ms", "sparse ms",
+                      "dense %", "sparse %"});
+    for (const auto &config : model::tableIIModels()) {
+        for (const auto &node :
+             {hw::cpuOnlyNode(), hw::cpuGpuNode()}) {
+            core::Planner planner =
+                core::Planner::forPlatform(config, node);
+            const auto plan = planner.planModelWise();
+            const auto &mono = plan.frontendShard();
+            const double dense =
+                units::toMillis(mono.stageLatencies[0]);
+            const double sparse =
+                units::toMillis(mono.stageLatencies[1]);
+            lat.addRow({config.name,
+                        node.hasGpu ? "CPU-GPU" : "CPU-only",
+                        TablePrinter::num(dense, 1),
+                        TablePrinter::num(sparse, 1),
+                        TablePrinter::percent(dense / (dense + sparse)),
+                        TablePrinter::percent(sparse /
+                                              (dense + sparse))});
+        }
+    }
+    lat.print(std::cout);
+
+    std::cout << "\nEmbedding touch fraction per inference item "
+                 "(paper: ~0.001% at pooling ~100):\n";
+    for (const auto &config : model::tableIIModels()) {
+        std::cout << "  " << config.name << ": "
+                  << TablePrinter::percent(
+                         config.embeddingTouchFraction(), 5)
+                  << "\n";
+    }
+    return 0;
+}

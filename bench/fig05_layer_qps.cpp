@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 5: service throughput (QPS) of the dense DNN and sparse
+ * embedding layers measured separately, per model, on CPU-only and
+ * CPU-GPU platforms.
+ *
+ * Paper reference: a significant QPS mismatch exists between the two
+ * layer types on both platforms, motivating per-layer resource scaling
+ * (the Figure 4 argument).
+ */
+
+#include "bench_util.h"
+
+using namespace erec;
+
+int
+main()
+{
+    bench::quietLogs();
+    bench::banner("Figure 5: isolated dense vs sparse layer QPS",
+                  "large dense/sparse QPS mismatch on both platforms");
+
+    for (const auto &node : {hw::cpuOnlyNode(), hw::cpuGpuNode()}) {
+        std::cout << "\n" << (node.hasGpu ? "(b) CPU-GPU" : "(a) CPU-only")
+                  << " system (" << node.name << ")\n";
+        TablePrinter t({"model", "dense QPS", "sparse QPS (all tables)",
+                        "mismatch"});
+        for (const auto &config : model::tableIIModels()) {
+            core::Planner planner =
+                core::Planner::forPlatform(config, node);
+            // Dense: a whole-node dense stage; sparse: the embedding
+            // layer of all tables executing locally on the node.
+            const auto plan = planner.planModelWise();
+            const auto &mono = plan.frontendShard();
+            const double dense_qps =
+                1.0 / units::toSeconds(mono.stageLatencies[0]);
+            const double sparse_qps =
+                1.0 / units::toSeconds(mono.stageLatencies[1]);
+            const double mismatch =
+                std::max(dense_qps, sparse_qps) /
+                std::min(dense_qps, sparse_qps);
+            t.addRow({config.name, TablePrinter::num(dense_qps, 1),
+                      TablePrinter::num(sparse_qps, 1),
+                      TablePrinter::ratio(mismatch, 1)});
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

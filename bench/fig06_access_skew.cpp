@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 6: sorted access frequency of embedding vectors in the
+ * (synthesized) Amazon Books, Criteo and MovieLens datasets, on a
+ * log-log-style grid.
+ *
+ * Paper reference: power-law access distributions where, e.g., 94% of
+ * MovieLens accesses are covered by the top 10% of table entries.
+ */
+
+#include "bench_util.h"
+
+#include "elasticrec/workload/datasets.h"
+
+using namespace erec;
+
+int
+main()
+{
+    bench::quietLogs();
+    bench::banner("Figure 6: sorted embedding access frequency",
+                  "power law; MovieLens P=94% over top 10% of entries");
+
+    const std::uint64_t total_accesses = 100'000'000;
+    for (const auto &shape : workload::allDatasetShapes()) {
+        std::cout << "\n(" << shape.name << ", " << shape.numRows
+                  << " rows, P = "
+                  << TablePrinter::percent(shape.localityP) << ")\n";
+        TablePrinter t({"rank", "expected accesses"});
+        const auto curve = workload::sortedFrequencyCurve(
+            *shape.distribution, total_accesses, 16);
+        for (const auto &[rank, count] : curve) {
+            t.addRow({TablePrinter::num(
+                          static_cast<std::int64_t>(rank + 1)),
+                      TablePrinter::num(count, 2)});
+        }
+        t.print(std::cout);
+        std::cout << "  coverage by top 1% / 10% / 50% of rows: "
+                  << TablePrinter::percent(
+                         shape.distribution->massOfTopRows(
+                             shape.numRows / 100))
+                  << " / "
+                  << TablePrinter::percent(
+                         shape.distribution->massOfTopRows(
+                             shape.numRows / 10))
+                  << " / "
+                  << TablePrinter::percent(
+                         shape.distribution->massOfTopRows(
+                             shape.numRows / 2))
+                  << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 9: QPS of the embedding gather operation as a function of the
+ * number of gathers over a 20M-entry table, for embedding dimensions
+ * 32 through 512.
+ *
+ * Paper reference: curves are flat at low gather counts and decline as
+ * gathers grow; larger dimensions shift the whole curve down (more
+ * bytes fetched per gather). This profile is exactly what ElasticRec's
+ * one-time profiling step feeds into the QPS(x) regression.
+ */
+
+#include "bench_util.h"
+
+#include "elasticrec/core/qps_model.h"
+
+using namespace erec;
+
+int
+main()
+{
+    bench::quietLogs();
+    bench::banner("Figure 9: QPS vs number of embedding gathers",
+                  "flat head, declining tail; higher dim -> lower QPS");
+
+    const auto node = hw::cpuOnlyNode();
+    hw::LatencyModel lat(node);
+    const std::uint32_t cores = 1;
+    const auto overhead =
+        static_cast<SimTime>(node.cpu.sparseRpcOverheadUs);
+
+    std::vector<std::uint32_t> dims = {32, 64, 128, 256, 512};
+    std::vector<core::QpsModel> models;
+    for (auto dim : dims) {
+        models.push_back(core::QpsModel::profile(
+            lat, Bytes{dim} * 4, cores, 131072, overhead));
+    }
+
+    std::vector<std::string> header = {"gathers"};
+    for (auto dim : dims)
+        header.push_back("dim " + std::to_string(dim));
+    TablePrinter t(header);
+    for (std::uint64_t g = 1; g <= 131072; g *= 4) {
+        std::vector<std::string> row = {
+            TablePrinter::num(static_cast<std::int64_t>(g))};
+        for (const auto &m : models)
+            row.push_back(TablePrinter::num(
+                m.qps(static_cast<double>(g)), 1));
+        t.addRow(std::move(row));
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape checks:\n";
+    const auto &d32 = models.front();
+    const auto &d512 = models.back();
+    std::cout << "  dim 32: QPS(1)/QPS(100) = "
+              << TablePrinter::ratio(d32.qps(1) / d32.qps(100))
+              << " (flat head), QPS(1)/QPS(100k) = "
+              << TablePrinter::ratio(d32.qps(1) / d32.qps(100000), 1)
+              << " (declining tail)\n";
+    std::cout << "  dim 512 vs dim 32 at 100k gathers: "
+              << TablePrinter::ratio(d32.qps(100000) /
+                                     d512.qps(100000))
+              << " lower\n";
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Figure 12 (Table I microbenchmarks): memory consumption of
+ * model-wise vs ElasticRec on the CPU-only platform while sweeping
+ * (a) MLP size, (b) embedding-table locality, (c) number of tables and
+ * (d) the (manually forced) number of shards per table.
+ *
+ * Paper reference points: memory grows quickly with MLP size under
+ * model-wise but only modestly under ElasticRec; high locality buys
+ * ElasticRec ~2.2x savings while model-wise is flat; savings scale
+ * with table count; and the shard-count sweep plateaus around the
+ * DP-chosen optimum (4 shards) because of per-container minimum
+ * allocations.
+ */
+
+#include "bench_util.h"
+
+using namespace erec;
+
+namespace {
+
+const double kTargetQps = 100.0;
+
+void
+addComparison(TablePrinter &t, const std::string &label,
+              const model::DlrmConfig &config,
+              const core::PlannerOptions &opt)
+{
+    const auto node = hw::cpuOnlyNode();
+    core::Planner planner(config, node, opt);
+    const auto cdf = sim::cdfFor(config);
+    const auto er = planner.planElasticRec({cdf});
+    const auto mw = planner.planModelWise();
+    const auto er_mem = er.memoryForTarget(kTargetQps);
+    const auto mw_mem = mw.memoryForTarget(kTargetQps);
+    t.addRow({label, units::formatBytes(mw_mem),
+              units::formatBytes(er_mem),
+              TablePrinter::ratio(static_cast<double>(mw_mem) /
+                                  static_cast<double>(er_mem)),
+              TablePrinter::num(static_cast<std::int64_t>(
+                  er.tableShards(0).size()))});
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::quietLogs();
+    bench::banner("Figure 12: Table I microbenchmarks (CPU-only, "
+                  "100 QPS)",
+                  "(a) MLP size sweep, (b) locality sweep, (c) table "
+                  "count sweep, (d) shard count sweep with plateau");
+
+    {
+        std::cout << "\n(a) MLP layer size (locality High, 10 tables)\n";
+        TablePrinter t({"MLP", "model-wise mem", "ElasticRec mem",
+                        "reduction", "DP shards/table"});
+        for (auto size : {model::MlpSize::Light, model::MlpSize::Medium,
+                          model::MlpSize::Heavy}) {
+            addComparison(t, model::toString(size),
+                          model::microBenchmark(
+                              size, model::LocalityLevel::High),
+                          core::PlannerOptions{});
+        }
+        t.print(std::cout);
+    }
+
+    {
+        std::cout << "\n(b) Embedding table locality (Medium MLP)\n";
+        TablePrinter t({"locality P", "model-wise mem",
+                        "ElasticRec mem", "reduction",
+                        "DP shards/table"});
+        for (auto level :
+             {model::LocalityLevel::Low, model::LocalityLevel::Medium,
+              model::LocalityLevel::High}) {
+            addComparison(
+                t,
+                std::string(model::toString(level)) + " (" +
+                    TablePrinter::percent(model::localityValue(level),
+                                          0) +
+                    ")",
+                model::microBenchmark(model::MlpSize::Medium, level),
+                core::PlannerOptions{});
+        }
+        t.print(std::cout);
+    }
+
+    {
+        std::cout << "\n(c) Total number of tables (Medium MLP, High "
+                     "locality)\n";
+        TablePrinter t({"tables", "model-wise mem", "ElasticRec mem",
+                        "reduction", "DP shards/table"});
+        for (std::uint32_t n : {1u, 4u, 10u, 16u}) {
+            addComparison(t, std::to_string(n),
+                          model::microBenchmark(
+                              model::MlpSize::Medium,
+                              model::LocalityLevel::High, n),
+                          core::PlannerOptions{});
+        }
+        t.print(std::cout);
+    }
+
+    {
+        std::cout << "\n(d) Number of shards per table (manual "
+                     "override; 0 = DP optimum)\n";
+        const auto config = model::microBenchmark(
+            model::MlpSize::Medium, model::LocalityLevel::High);
+        TablePrinter t({"shards/table", "ElasticRec mem",
+                        "vs model-wise"});
+        const auto node = hw::cpuOnlyNode();
+        Bytes mw_mem = 0;
+        {
+            core::Planner planner(config, node);
+            mw_mem = planner.planModelWise().memoryForTarget(
+                kTargetQps);
+        }
+        for (std::uint32_t shards : {1u, 2u, 4u, 8u, 16u, 0u}) {
+            core::PlannerOptions opt;
+            opt.forceShards = shards;
+            core::Planner planner(config, node, opt);
+            const auto er =
+                planner.planElasticRec({sim::cdfFor(config)});
+            const auto mem = er.memoryForTarget(kTargetQps);
+            t.addRow({shards == 0
+                          ? "DP (" + std::to_string(
+                                er.tableShards(0).size()) + ")"
+                          : std::to_string(shards),
+                      units::formatBytes(mem),
+                      TablePrinter::ratio(
+                          static_cast<double>(mw_mem) /
+                          static_cast<double>(mem))});
+        }
+        t.print(std::cout);
+        std::cout << "  (memory should improve with more shards, then "
+                     "plateau near the DP optimum as min-alloc "
+                     "overheads accumulate)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Figure 13: CPU-only memory consumption of model-wise vs ElasticRec
+ * for RM1/RM2/RM3 at the paper's fleet target of 100 queries/sec.
+ *
+ * Paper reference: 2.2x / 2.6x / 8.1x reductions (average 3.3x across
+ * the paper's headline figure), with the DP choosing 4/3/3 shards per
+ * table.
+ */
+
+#include "bench_util.h"
+
+using namespace erec;
+
+int
+main()
+{
+    bench::quietLogs();
+    bench::banner("Figure 13: CPU-only memory consumption @ 100 QPS",
+                  "paper reductions 2.2x / 2.6x / 8.1x");
+    bench::memoryFigure(hw::cpuOnlyNode(), 100.0, {2.2, 2.6, 8.1});
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 15: number of CPU server nodes required to meet 100
+ * queries/sec, model-wise vs ElasticRec, with a steady-state
+ * simulation validating that the ElasticRec deployment actually
+ * sustains the target within the SLA.
+ *
+ * Paper reference: 1.67x / 1.67x / 2.0x fewer nodes for RM1/RM2/RM3
+ * (average cost reduction 1.7x); ElasticRec's RPC fan-out adds ~31 ms
+ * of latency (~8% of the 400 ms SLA).
+ */
+
+#include "bench_util.h"
+
+using namespace erec;
+
+int
+main()
+{
+    bench::quietLogs();
+    bench::banner("Figure 15: CPU-only server nodes @ 100 QPS",
+                  "paper node reductions 1.67x / 1.67x / 2.0x");
+    bench::nodesFigure(hw::cpuOnlyNode(), 100.0, {1.67, 1.67, 2.0});
+    return 0;
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 17: CPU-GPU memory utility per shard and replica counts at
+ * 200 queries/sec.
+ *
+ * Paper reference: model-wise again averages ~6% utility; ElasticRec
+ * achieves ~8x higher utility with replicas proportional to hotness.
+ */
+
+#include "bench_util.h"
+
+using namespace erec;
+
+int
+main()
+{
+    bench::quietLogs();
+    bench::banner("Figure 17: CPU-GPU memory utility @ 200 QPS",
+                  "MW ~6% utility; ER ~8x higher");
+    bench::utilityFigure(hw::cpuGpuNode(), 200.0);
+    return 0;
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Figure 18: number of CPU-GPU server nodes required to meet 200
+ * queries/sec, with steady-state simulation validation.
+ *
+ * Paper reference: 1.4x / 1.6x / 1.2x fewer nodes for RM1/RM2/RM3;
+ * ElasticRec's communication adds ~60 ms (~15% of the SLA).
+ */
+
+#include "bench_util.h"
+
+using namespace erec;
+
+int
+main()
+{
+    bench::quietLogs();
+    bench::banner("Figure 18: CPU-GPU server nodes @ 200 QPS",
+                  "paper node reductions 1.4x / 1.6x / 1.2x");
+    bench::nodesFigure(hw::cpuGpuNode(), 200.0, {1.4, 1.6, 1.2});
+    return 0;
+}

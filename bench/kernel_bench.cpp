@@ -1,0 +1,146 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's hot kernels: the
+ * embedding gather+pool, the MLP forward pass, query bucketization,
+ * Zipf/locality sampling and the DP partitioner itself. These measure
+ * *this host's* real performance (they are the analogue of the paper's
+ * one-time profiling pass, Figure 9), independent of the calibrated
+ * cluster model used by the figure benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "elasticrec/core/bucketizer.h"
+#include "elasticrec/core/dp_partitioner.h"
+#include "elasticrec/embedding/embedding_table.h"
+#include "elasticrec/model/mlp.h"
+#include "elasticrec/workload/access_distribution.h"
+#include "elasticrec/workload/query_generator.h"
+
+using namespace erec;
+
+namespace {
+
+void
+BM_GatherPool(benchmark::State &state)
+{
+    const auto gathers = static_cast<std::size_t>(state.range(0));
+    const auto dim = static_cast<std::uint32_t>(state.range(1));
+    embedding::EmbeddingTable table(1u << 20, dim);
+    Rng rng(1);
+    std::vector<std::uint32_t> indices(gathers);
+    for (auto &i : indices)
+        i = static_cast<std::uint32_t>(rng.uniformInt(
+            std::uint64_t{1u << 20}));
+    std::vector<std::uint32_t> offsets = {0};
+    std::vector<float> out(dim);
+    for (auto _ : state) {
+        table.gatherPool(indices, offsets, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(gathers));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(gathers * dim * 4));
+}
+BENCHMARK(BM_GatherPool)
+    ->Args({128, 32})
+    ->Args({1024, 32})
+    ->Args({4096, 32})
+    ->Args({4096, 128})
+    ->Args({4096, 512});
+
+void
+BM_MlpForward(benchmark::State &state)
+{
+    const auto batch = static_cast<std::size_t>(state.range(0));
+    model::Mlp mlp(model::MlpSpec{{256, 128, 32}});
+    std::vector<float> in(batch * 256, 0.1f);
+    std::vector<float> out(batch * 32);
+    for (auto _ : state) {
+        mlp.forward(in.data(), batch, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_MlpForward)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_Bucketize(benchmark::State &state)
+{
+    const auto shards = static_cast<std::uint32_t>(state.range(0));
+    const std::uint64_t rows = 1'000'000;
+    std::vector<std::uint64_t> boundaries;
+    for (std::uint32_t s = 1; s <= shards; ++s)
+        boundaries.push_back(rows * s / shards);
+    core::Bucketizer bucketizer(boundaries);
+
+    workload::QueryShape shape;
+    shape.batchSize = 32;
+    shape.numTables = 1;
+    shape.gathersPerItem = 128;
+    workload::QueryGenerator gen(
+        shape, std::make_shared<workload::LocalityDistribution>(
+                   rows, 0.9));
+    const auto q = gen.next();
+    for (auto _ : state) {
+        auto buckets = bucketizer.bucketize(q.lookups[0]);
+        benchmark::DoNotOptimize(buckets);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(q.lookups[0].numGathers()));
+}
+BENCHMARK(BM_Bucketize)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_LocalitySample(benchmark::State &state)
+{
+    workload::LocalityDistribution dist(20'000'000, 0.9);
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dist.sampleRank(rng));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LocalitySample);
+
+void
+BM_ZipfSample(benchmark::State &state)
+{
+    workload::ZipfDistribution dist(20'000'000, 0.99);
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dist.sampleRank(rng));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZipfSample);
+
+void
+BM_DpPartitioner(benchmark::State &state)
+{
+    const auto granules = static_cast<std::uint32_t>(state.range(0));
+    auto cost = [](std::uint64_t b, std::uint64_t e) {
+        const double len = static_cast<double>(e - b);
+        return len * len / static_cast<double>(b + 1);
+    };
+    for (auto _ : state) {
+        core::DpPartitioner::Options opt;
+        opt.maxShards = 16;
+        opt.granules = granules;
+        core::DpPartitioner dp(20'000'000, cost, opt);
+        auto plan = dp.findOptimalPlan();
+        benchmark::DoNotOptimize(plan);
+    }
+}
+BENCHMARK(BM_DpPartitioner)->Arg(128)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

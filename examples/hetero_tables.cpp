@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Heterogeneous tables: in production, different sparse features have
+ * very different access skew (compare the three datasets of Figure 6).
+ * ElasticRec partitions each table separately (Section VI-A: "if a
+ * model contains multiple tables, ElasticRec applies its table
+ * partitioning algorithm separately for each individual table"). This
+ * example gives each table of one model its own locality and shows how
+ * the per-table plans — shard counts, boundaries and replica mixes —
+ * adapt to each table's skew.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "elasticrec/common/logging.h"
+#include "elasticrec/common/table_printer.h"
+#include "elasticrec/core/planner.h"
+#include "elasticrec/hw/platform.h"
+#include "elasticrec/sim/experiment.h"
+
+using namespace erec;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+    const auto node = hw::cpuOnlyNode();
+
+    model::DlrmConfig config = model::rm1();
+    config.name = "hetero";
+    config.numTables = 6;
+
+    // Per-table locality: from almost uniform to extremely skewed.
+    const double locality[] = {0.20, 0.40, 0.60, 0.80, 0.90, 0.97};
+    std::vector<std::shared_ptr<const embedding::AccessCdf>> cdfs;
+    for (double p : locality) {
+        auto dist = std::make_shared<workload::LocalityDistribution>(
+            config.rowsPerTable, p);
+        cdfs.push_back(std::make_shared<embedding::AccessCdf>(
+            embedding::AccessCdf::fromMassFunction(
+                config.rowsPerTable,
+                [&dist](std::uint64_t x) {
+                    return dist->massOfTopRows(x);
+                })));
+    }
+
+    core::Planner planner(config, node);
+    const auto plan = planner.planElasticRec(cdfs);
+
+    std::cout << "Per-table plans (target 100 QPS):\n";
+    TablePrinter t({"table", "locality P", "shards", "hot-shard rows",
+                    "hot replicas", "cold replicas",
+                    "table memory"});
+    for (std::uint32_t table = 0; table < config.numTables; ++table) {
+        const auto shards = plan.tableShards(table);
+        Bytes mem = 0;
+        for (const auto *s : shards) {
+            mem += Bytes{core::DeploymentPlan::replicasForTarget(
+                       *s, 100.0)} *
+                   s->memBytes;
+        }
+        t.addRow({TablePrinter::num(static_cast<std::int64_t>(table)),
+                  TablePrinter::percent(locality[table], 0),
+                  TablePrinter::num(static_cast<std::int64_t>(
+                      shards.size())),
+                  TablePrinter::num(static_cast<std::int64_t>(
+                      shards.front()->endRow -
+                      shards.front()->beginRow)),
+                  TablePrinter::num(static_cast<std::int64_t>(
+                      core::DeploymentPlan::replicasForTarget(
+                          *shards.front(), 100.0))),
+                  TablePrinter::num(static_cast<std::int64_t>(
+                      core::DeploymentPlan::replicasForTarget(
+                          *shards.back(), 100.0))),
+                  units::formatBytes(mem)});
+    }
+    t.print(std::cout);
+    std::cout << "(more skew -> smaller, hotter head shards that "
+                 "replicate cheaply; near-uniform tables stay coarse)\n";
+
+    // Contrast with one plan derived from an "average" CDF and applied
+    // to every table. For a fair comparison the averaged plan's
+    // replica counts must be evaluated under each table's *true* load,
+    // not the averaged estimate it was planned with.
+    auto avg_dist = std::make_shared<workload::LocalityDistribution>(
+        config.rowsPerTable, 0.645);
+    auto avg_cdf = std::make_shared<embedding::AccessCdf>(
+        embedding::AccessCdf::fromMassFunction(
+            config.rowsPerTable, [&](std::uint64_t x) {
+                return avg_dist->massOfTopRows(x);
+            }));
+    const auto avg_partition = planner.partitionTable(*avg_cdf);
+    const double n_t =
+        static_cast<double>(config.gathersPerQueryPerTable());
+    const auto qps = planner.sparseQpsModel();
+    Bytes avg_mem = 0;
+    for (std::uint32_t table = 0; table < config.numTables; ++table) {
+        std::uint64_t begin = 0;
+        for (auto end : avg_partition.boundaries) {
+            const double n_s =
+                cdfs[table]->massOfRange(begin, end) * n_t;
+            const auto replicas = static_cast<Bytes>(std::max(
+                1.0, std::ceil(100.0 / qps->qps(n_s))));
+            avg_mem += replicas *
+                       ((end - begin) * Bytes{config.embeddingDim} * 4 +
+                        planner.options().minMemAlloc);
+            begin = end;
+        }
+    }
+    std::cout << "\nsparse memory @100 QPS — per-table plans: "
+              << units::formatBytes(plan.memoryForTarget(100.0) -
+                                    Bytes{core::DeploymentPlan::
+                                              replicasForTarget(
+                                                  plan.frontendShard(),
+                                                  100.0)} *
+                                        plan.frontendShard().memBytes)
+              << " vs one averaged plan under the true loads: "
+              << units::formatBytes(avg_mem)
+              << " (per-table partitioning adapts to each feature's "
+                 "skew)\n";
+    return 0;
+}

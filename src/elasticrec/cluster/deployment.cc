@@ -1,0 +1,40 @@
+#include "elasticrec/cluster/deployment.h"
+
+#include <algorithm>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::cluster {
+
+ResourceRequest
+resourceRequestFor(const core::ShardSpec &spec)
+{
+    ResourceRequest req;
+    req.cpuCores = spec.cpuCores;
+    req.memBytes = spec.memBytes;
+    req.gpu = spec.usesGpu;
+    return req;
+}
+
+Deployment::Deployment(core::ShardSpec spec, std::uint32_t initial_replicas)
+    : spec_(std::move(spec)), desired_(std::max(1u, initial_replicas))
+{
+}
+
+void
+Deployment::setDesiredReplicas(std::uint32_t n)
+{
+    desired_ = std::clamp(n, minReplicas_, maxReplicas_);
+}
+
+void
+Deployment::setReplicaBounds(std::uint32_t min_r, std::uint32_t max_r)
+{
+    ERC_CHECK(min_r >= 1 && min_r <= max_r,
+              "invalid replica bounds [" << min_r << ", " << max_r << "]");
+    minReplicas_ = min_r;
+    maxReplicas_ = max_r;
+    desired_ = std::clamp(desired_, minReplicas_, maxReplicas_);
+}
+
+} // namespace erec::cluster

@@ -1,0 +1,54 @@
+#include "elasticrec/cluster/hpa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::cluster {
+
+Hpa::Hpa(HpaPolicy policy) : policy_(policy)
+{
+    ERC_CHECK(policy_.target > 0, "HPA target must be positive");
+    ERC_CHECK(policy_.tolerance >= 0 && policy_.tolerance < 1,
+              "HPA tolerance must be in [0, 1)");
+    ERC_CHECK(policy_.syncPeriod > 0, "sync period must be positive");
+}
+
+std::uint32_t
+Hpa::reconcile(SimTime now, std::uint32_t current, double measured)
+{
+    ERC_CHECK(current >= 1, "reconcile requires at least one replica");
+    const double ratio = measured / policy_.target;
+
+    std::uint32_t recommendation = current;
+    if (std::abs(ratio - 1.0) > policy_.tolerance) {
+        recommendation = static_cast<std::uint32_t>(std::max(
+            1.0, std::ceil(static_cast<double>(current) * ratio)));
+    }
+
+    // Rate-limit scale-up per sync period (Kubernetes default policy).
+    const auto cap = std::max<std::uint32_t>(
+        static_cast<std::uint32_t>(std::ceil(
+            static_cast<double>(current) * policy_.maxScaleUpFactor)),
+        current + policy_.maxScaleUpPods);
+    recommendation = std::min(recommendation, cap);
+
+    // Record and trim the recommendation history.
+    history_.emplace_back(now, recommendation);
+    const SimTime cutoff = now - policy_.stabilizationWindow;
+    while (!history_.empty() && history_.front().first < cutoff)
+        history_.pop_front();
+
+    if (recommendation >= current)
+        return recommendation; // Scale up (or hold) immediately.
+
+    // Scale-down stabilization: act on the *highest* recommendation
+    // within the window to avoid flapping.
+    std::uint32_t stabilized = recommendation;
+    for (const auto &[t, r] : history_)
+        stabilized = std::max(stabilized, r);
+    return std::min(stabilized, current);
+}
+
+} // namespace erec::cluster

@@ -1,0 +1,82 @@
+#pragma once
+
+/**
+ * @file
+ * Horizontal Pod Autoscaler (Section IV-D).
+ *
+ * ElasticRec drives sparse shards with a throughput-centric target (the
+ * shard's stress-tested QPS_max per replica) and dense shards with a
+ * latency-centric target (65% of the SLA). Scaling follows the
+ * Kubernetes HPA control law:
+ *
+ *   desired = ceil(current * measured / target)
+ *
+ * with a +/- tolerance dead band and a scale-down stabilization window
+ * (scale-down uses the maximum desired count recommended over the
+ * window, mirroring Kubernetes' behaviour).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "elasticrec/common/units.h"
+
+namespace erec::cluster {
+
+/** What the HPA measures. */
+enum class HpaMetric
+{
+    /** Queries/sec per ready replica vs. a QPS_max target. */
+    QpsPerReplica,
+    /** P95 latency of the deployment vs. a latency target. */
+    TailLatency,
+};
+
+struct HpaPolicy
+{
+    HpaMetric metric = HpaMetric::QpsPerReplica;
+    /** Target value: QPS_max (queries/sec) or latency target (us). */
+    double target = 1.0;
+    /** Dead band: no action when |measured/target - 1| <= tolerance. */
+    double tolerance = 0.10;
+    /** Controller sync period. */
+    SimTime syncPeriod = 15 * units::kSecond;
+    /** Scale-down stabilization window. */
+    SimTime stabilizationWindow = 180 * units::kSecond;
+    /**
+     * Scale-up rate limit per sync period, mirroring the Kubernetes
+     * default scaling policy (at most double, or +4 pods, whichever is
+     * larger). Prevents queue-buildup latency spikes from exploding
+     * the replica count in one step.
+     */
+    double maxScaleUpFactor = 2.0;
+    std::uint32_t maxScaleUpPods = 4;
+};
+
+class Hpa
+{
+  public:
+    explicit Hpa(HpaPolicy policy);
+
+    const HpaPolicy &policy() const { return policy_; }
+
+    /**
+     * One reconcile step.
+     *
+     * @param now Current simulated time.
+     * @param current Current (ready) replica count.
+     * @param measured Measured metric value (QPS per replica, or P95
+     *        latency in SimTime us depending on the policy metric).
+     * @return The new desired replica count.
+     */
+    std::uint32_t reconcile(SimTime now, std::uint32_t current,
+                            double measured);
+
+  private:
+    HpaPolicy policy_;
+    /** (time, recommendation) history for scale-down stabilization. */
+    std::deque<std::pair<SimTime, std::uint32_t>> history_;
+};
+
+} // namespace erec::cluster

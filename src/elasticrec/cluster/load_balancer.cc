@@ -1,0 +1,56 @@
+#include "elasticrec/cluster/load_balancer.h"
+
+#include "elasticrec/common/error.h"
+
+namespace erec::cluster {
+
+const char *
+toString(LbPolicy policy)
+{
+    switch (policy) {
+      case LbPolicy::RoundRobin: return "round-robin";
+      case LbPolicy::LeastLoaded: return "least-loaded";
+      case LbPolicy::PowerOfTwoChoices: return "p2c";
+    }
+    return "?";
+}
+
+LoadBalancer::LoadBalancer(LbPolicy policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed)
+{
+}
+
+std::uint32_t
+LoadBalancer::pick(const std::vector<LbCandidate> &candidates)
+{
+    ERC_CHECK(!candidates.empty(), "no ready replicas to route to");
+    switch (policy_) {
+      case LbPolicy::RoundRobin: {
+        const auto &c = candidates[rrCursor_++ % candidates.size()];
+        return c.index;
+      }
+      case LbPolicy::LeastLoaded: {
+        const LbCandidate *best = &candidates.front();
+        for (const auto &c : candidates)
+            if (c.inFlight < best->inFlight)
+                best = &c;
+        return best->index;
+      }
+      case LbPolicy::PowerOfTwoChoices: {
+        if (candidates.size() == 1)
+            return candidates.front().index;
+        const auto a = rng_.uniformInt(
+            static_cast<std::uint64_t>(candidates.size()));
+        auto b = rng_.uniformInt(
+            static_cast<std::uint64_t>(candidates.size() - 1));
+        if (b >= a)
+            ++b; // distinct second sample
+        const auto &ca = candidates[a];
+        const auto &cb = candidates[b];
+        return ca.inFlight <= cb.inFlight ? ca.index : cb.index;
+      }
+    }
+    panic("unknown load-balancing policy");
+}
+
+} // namespace erec::cluster

@@ -1,0 +1,79 @@
+#include "elasticrec/cluster/metrics.h"
+
+namespace erec::cluster {
+
+MetricsRegistry::MetricsRegistry(SimTime rate_window, SimTime latency_window)
+    : rateWindow_(rate_window), latencyWindow_(latency_window)
+{
+}
+
+MetricsRegistry::Series &
+MetricsRegistry::series(const std::string &deployment)
+{
+    auto it = series_.find(deployment);
+    if (it == series_.end()) {
+        it = series_
+                 .emplace(deployment,
+                          Series(rateWindow_, latencyWindow_))
+                 .first;
+    }
+    return it->second;
+}
+
+void
+MetricsRegistry::recordCompletion(const std::string &deployment,
+                                  SimTime now, SimTime latency)
+{
+    auto &s = series(deployment);
+    s.rate.add(now);
+    s.latency.add(now, static_cast<double>(latency));
+}
+
+void
+MetricsRegistry::recordSlaViolation(const std::string &deployment)
+{
+    ++series(deployment).slaViolations;
+}
+
+double
+MetricsRegistry::qps(const std::string &deployment, SimTime now)
+{
+    return series(deployment).rate.rate(now);
+}
+
+SimTime
+MetricsRegistry::latencyQuantile(const std::string &deployment,
+                                 SimTime now, double q)
+{
+    return static_cast<SimTime>(
+        series(deployment).latency.quantile(now, q));
+}
+
+std::uint64_t
+MetricsRegistry::completions(const std::string &deployment) const
+{
+    const auto it = series_.find(deployment);
+    return it == series_.end() ? 0 : it->second.rate.total();
+}
+
+std::uint64_t
+MetricsRegistry::slaViolations(const std::string &deployment) const
+{
+    const auto it = series_.find(deployment);
+    return it == series_.end() ? 0 : it->second.slaViolations;
+}
+
+void
+MetricsRegistry::setGauge(const std::string &name, double value)
+{
+    gauges_[name] = value;
+}
+
+double
+MetricsRegistry::gauge(const std::string &name) const
+{
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+} // namespace erec::cluster

@@ -1,0 +1,77 @@
+#pragma once
+
+/**
+ * @file
+ * Prometheus-style metrics registry: per-deployment QPS windows, tail
+ * latency percentiles, and gauges (memory consumption, replica counts).
+ * The HPA controller and the experiment harnesses read metrics from
+ * here exclusively, mirroring how the paper's setup scrapes custom
+ * statistics from a Prometheus metrics server.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "elasticrec/common/stats.h"
+#include "elasticrec/common/units.h"
+
+namespace erec::cluster {
+
+class MetricsRegistry
+{
+  public:
+    /**
+     * @param rate_window Window for QPS measurement.
+     * @param latency_window Window for tail-latency percentiles.
+     */
+    explicit MetricsRegistry(
+        SimTime rate_window = 10 * units::kSecond,
+        SimTime latency_window = 30 * units::kSecond);
+
+    /** Record one completed request with its end-to-end latency. */
+    void recordCompletion(const std::string &deployment, SimTime now,
+                          SimTime latency);
+
+    /** Record an SLA violation (completion later than the SLA bound). */
+    void recordSlaViolation(const std::string &deployment);
+
+    /** Queries per second completed by a deployment, trailing window. */
+    double qps(const std::string &deployment, SimTime now);
+
+    /** Latency quantile of a deployment over the trailing window. */
+    SimTime latencyQuantile(const std::string &deployment, SimTime now,
+                            double q);
+
+    /** Total completions since start. */
+    std::uint64_t completions(const std::string &deployment) const;
+
+    /** Total SLA violations since start. */
+    std::uint64_t slaViolations(const std::string &deployment) const;
+
+    /** Set a named gauge (e.g. memory bytes, replica count). */
+    void setGauge(const std::string &name, double value);
+
+    /** Read a gauge (0 when never set). */
+    double gauge(const std::string &name) const;
+
+  private:
+    struct Series
+    {
+        Series(SimTime rate_window, SimTime latency_window)
+            : rate(rate_window), latency(latency_window)
+        {}
+        RateWindow rate;
+        WindowedPercentile latency;
+        std::uint64_t slaViolations = 0;
+    };
+
+    Series &series(const std::string &deployment);
+
+    SimTime rateWindow_;
+    SimTime latencyWindow_;
+    std::map<std::string, Series> series_;
+    std::map<std::string, double> gauges_;
+};
+
+} // namespace erec::cluster

@@ -1,0 +1,72 @@
+#pragma once
+
+/**
+ * @file
+ * Error-handling helpers.
+ *
+ * Following the gem5 fatal()/panic() convention:
+ *  - ERC_CHECK / erec::fatal  -> user-facing error (bad configuration,
+ *    invalid arguments); throws erec::ConfigError.
+ *  - ERC_ASSERT / erec::panic -> internal invariant violation (a bug in
+ *    the library itself); throws erec::InternalError.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace erec {
+
+/** Raised when a user-supplied configuration or argument is invalid. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &msg)
+        : std::runtime_error("ConfigError: " + msg)
+    {}
+};
+
+/** Raised when an internal invariant of the library is violated. */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : std::logic_error("InternalError: " + msg)
+    {}
+};
+
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw ConfigError(msg);
+}
+
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    throw InternalError(msg);
+}
+
+} // namespace erec
+
+/** Validate a user-facing precondition; throws erec::ConfigError. */
+#define ERC_CHECK(cond, msg)                                               \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream erc_oss_;                                   \
+            erc_oss_ << msg << " [" << #cond << " at " << __FILE__ << ":"  \
+                     << __LINE__ << "]";                                   \
+            ::erec::fatal(erc_oss_.str());                                 \
+        }                                                                  \
+    } while (0)
+
+/** Validate an internal invariant; throws erec::InternalError. */
+#define ERC_ASSERT(cond, msg)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream erc_oss_;                                   \
+            erc_oss_ << msg << " [" << #cond << " at " << __FILE__ << ":"  \
+                     << __LINE__ << "]";                                   \
+            ::erec::panic(erc_oss_.str());                                 \
+        }                                                                  \
+    } while (0)

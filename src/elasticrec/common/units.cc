@@ -1,0 +1,27 @@
+#include "elasticrec/common/units.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace erec {
+namespace units {
+
+std::string
+formatBytes(Bytes b)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(2);
+    if (b >= kGiB) {
+        oss << toGiB(b) << " GiB";
+    } else if (b >= kMiB) {
+        oss << toMiB(b) << " MiB";
+    } else if (b >= kKiB) {
+        oss << static_cast<double>(b) / static_cast<double>(kKiB) << " KiB";
+    } else {
+        oss << b << " B";
+    }
+    return oss.str();
+}
+
+} // namespace units
+} // namespace erec

@@ -1,0 +1,80 @@
+#include "elasticrec/core/bucketizer.h"
+
+#include <algorithm>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::core {
+
+Bucketizer::Bucketizer(std::vector<std::uint64_t> boundaries,
+                       std::vector<std::uint32_t> inverse_perm)
+    : boundaries_(std::move(boundaries)),
+      inversePerm_(std::move(inverse_perm))
+{
+    ERC_CHECK(!boundaries_.empty(), "need at least one shard");
+    std::uint64_t prev = 0;
+    for (auto b : boundaries_) {
+        ERC_CHECK(b > prev, "boundaries must be strictly increasing");
+        prev = b;
+    }
+    ERC_CHECK(inversePerm_.empty() ||
+                  inversePerm_.size() == boundaries_.back(),
+              "inverse permutation must cover the whole table");
+}
+
+std::uint64_t
+Bucketizer::rankOf(std::uint32_t original_id) const
+{
+    ERC_CHECK(original_id < boundaries_.back(),
+              "index ID " << original_id << " out of table range");
+    if (inversePerm_.empty())
+        return original_id;
+    return inversePerm_[original_id];
+}
+
+std::uint32_t
+Bucketizer::shardOf(std::uint32_t original_id) const
+{
+    const std::uint64_t rank = rankOf(original_id);
+    const auto it =
+        std::upper_bound(boundaries_.begin(), boundaries_.end(), rank);
+    return static_cast<std::uint32_t>(it - boundaries_.begin());
+}
+
+std::vector<workload::SparseLookup>
+Bucketizer::bucketize(const workload::SparseLookup &in) const
+{
+    const std::uint32_t shards = numShards();
+    std::vector<workload::SparseLookup> out(shards);
+    const std::size_t batch = in.batchSize();
+
+    for (std::size_t b = 0; b < batch; ++b) {
+        // Each batch item opens a new offset entry in every shard
+        // (Figure 11(b): both shards keep offsets for input 0 and 1).
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            out[s].offsets.push_back(
+                static_cast<std::uint32_t>(out[s].indices.size()));
+        }
+        const std::size_t begin = in.offsets[b];
+        const std::size_t end =
+            (b + 1 < batch) ? in.offsets[b + 1] : in.indices.size();
+        ERC_CHECK(begin <= end && end <= in.indices.size(),
+                  "offset array is not monotone within the index array");
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::uint64_t rank = rankOf(in.indices[i]);
+            const auto it = std::upper_bound(boundaries_.begin(),
+                                             boundaries_.end(), rank);
+            const auto s = static_cast<std::uint32_t>(
+                it - boundaries_.begin());
+            const std::uint64_t shard_begin =
+                s == 0 ? 0 : boundaries_[s - 1];
+            // Rebase to a shard-local ID (the "subtract the size of the
+            // preceding shards" step of Figure 11).
+            out[s].indices.push_back(
+                static_cast<std::uint32_t>(rank - shard_begin));
+        }
+    }
+    return out;
+}
+
+} // namespace erec::core

@@ -1,0 +1,64 @@
+#pragma once
+
+/**
+ * @file
+ * Query bucketization (Section IV-C, Figure 11).
+ *
+ * A query addresses the original, un-partitioned table through an index
+ * array and an offset array. After partitioning, the dense shard must
+ * split those arrays per embedding shard and rebase each shard's index
+ * IDs to shard-local values (subtracting the sizes of the preceding
+ * shards). Every shard keeps a full-batch offset array so the shard can
+ * pool per batch item independently, exactly as in Figure 11(b).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "elasticrec/workload/query_generator.h"
+
+namespace erec::core {
+
+class Bucketizer
+{
+  public:
+    /**
+     * @param boundaries Exclusive end rank of each shard in
+     *        hotness-sorted space (the partitioning points); the last
+     *        entry is the table row count.
+     * @param inverse_perm inverse_perm[originalId] = hotness rank.
+     *        Pass empty when queries already carry sorted-space IDs.
+     */
+    Bucketizer(std::vector<std::uint64_t> boundaries,
+               std::vector<std::uint32_t> inverse_perm = {});
+
+    std::uint32_t numShards() const
+    {
+        return static_cast<std::uint32_t>(boundaries_.size());
+    }
+
+    /**
+     * Split one table's lookup into per-shard lookups with shard-local
+     * index IDs. The result always has numShards() entries; shards that
+     * receive no gathers still carry a full-batch offset array with an
+     * empty index array.
+     */
+    std::vector<workload::SparseLookup>
+    bucketize(const workload::SparseLookup &in) const;
+
+    /** Shard that will serve the given original index ID. */
+    std::uint32_t shardOf(std::uint32_t original_id) const;
+
+    const std::vector<std::uint64_t> &boundaries() const
+    {
+        return boundaries_;
+    }
+
+  private:
+    std::uint64_t rankOf(std::uint32_t original_id) const;
+
+    std::vector<std::uint64_t> boundaries_;
+    std::vector<std::uint32_t> inversePerm_;
+};
+
+} // namespace erec::core

@@ -1,0 +1,116 @@
+#include "elasticrec/embedding/embedding_table.h"
+
+#include <cstring>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::embedding {
+
+namespace {
+
+/** SplitMix64-style row/lane hash for virtual tables. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Map a 64-bit hash to a float in [-0.05, 0.05) (DLRM-style init). */
+float
+hashToFloat(std::uint64_t h)
+{
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    return static_cast<float>((u - 0.5) * 0.1);
+}
+
+} // namespace
+
+EmbeddingTable::EmbeddingTable(std::uint64_t num_rows, std::uint32_t dim,
+                               Storage storage, std::uint64_t seed)
+    : numRows_(num_rows), dim_(dim), storage_(storage), seed_(seed)
+{
+    ERC_CHECK(num_rows > 0, "table needs at least one row");
+    ERC_CHECK(dim > 0, "embedding dimension must be positive");
+    if (storage_ == Storage::Materialized) {
+        ERC_CHECK(num_rows * dim <= (1ull << 31),
+                  "materialized table too large ("
+                      << num_rows << " x " << dim
+                      << " floats); use Storage::Virtual");
+        data_.resize(num_rows * dim);
+        Rng rng(seed_);
+        for (auto &v : data_)
+            v = static_cast<float>((rng.uniform() - 0.5) * 0.1);
+    }
+}
+
+void
+EmbeddingTable::synthesizeRow(std::uint64_t row, float *out) const
+{
+    const std::uint64_t base = mix(seed_ ^ (row * 0x9E3779B97F4A7C15ull));
+    for (std::uint32_t d = 0; d < dim_; ++d)
+        out[d] = hashToFloat(mix(base + d));
+}
+
+void
+EmbeddingTable::readRow(std::uint64_t row, float *out) const
+{
+    ERC_CHECK(row < numRows_, "row " << row << " out of range");
+    if (storage_ == Storage::Materialized) {
+        std::memcpy(out, &data_[row * dim_], dim_ * sizeof(float));
+    } else {
+        synthesizeRow(row, out);
+    }
+}
+
+float
+EmbeddingTable::at(std::uint64_t row, std::uint32_t d) const
+{
+    ERC_CHECK(row < numRows_ && d < dim_, "element out of range");
+    if (storage_ == Storage::Materialized)
+        return data_[row * dim_ + d];
+    std::vector<float> tmp(dim_);
+    synthesizeRow(row, tmp.data());
+    return tmp[d];
+}
+
+std::size_t
+EmbeddingTable::gatherPool(const std::vector<std::uint32_t> &indices,
+                           const std::vector<std::uint32_t> &offsets,
+                           float *out) const
+{
+    ERC_CHECK(!offsets.empty(), "gatherPool needs at least one batch item");
+    const std::size_t batch = offsets.size();
+    std::vector<float> row(dim_);
+    for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t begin = offsets[b];
+        const std::size_t end =
+            (b + 1 < batch) ? offsets[b + 1] : indices.size();
+        ERC_CHECK(begin <= end && end <= indices.size(),
+                  "offset array is not monotone within the index array");
+        float *acc = out + b * dim_;
+        std::memset(acc, 0, dim_ * sizeof(float));
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::uint32_t id = indices[i];
+            ERC_CHECK(id < numRows_, "gather index " << id
+                                                     << " out of range");
+            if (storage_ == Storage::Materialized) {
+                const float *src = &data_[static_cast<std::size_t>(id) *
+                                          dim_];
+                for (std::uint32_t d = 0; d < dim_; ++d)
+                    acc[d] += src[d];
+            } else {
+                synthesizeRow(id, row.data());
+                for (std::uint32_t d = 0; d < dim_; ++d)
+                    acc[d] += row[d];
+            }
+        }
+    }
+    return indices.size();
+}
+
+} // namespace erec::embedding

@@ -1,0 +1,97 @@
+#pragma once
+
+/**
+ * @file
+ * Embedding table storage and gather/pool kernels.
+ *
+ * Tables can be *materialized* (real float storage, used by unit tests,
+ * examples and kernel profiling) or *virtual* (no backing storage; row
+ * values are synthesized from a deterministic hash). Virtual mode lets
+ * experiments reason about paper-scale tables (20M rows x 32 floats =
+ * 2.4 GiB per table, 10-32 tables per model) on a small host while still
+ * exercising the full gather/pool code path; byte accounting always
+ * reflects the *logical* size.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "elasticrec/common/rng.h"
+#include "elasticrec/common/units.h"
+
+namespace erec::embedding {
+
+enum class Storage
+{
+    Materialized, //!< Real float backing store.
+    Virtual,      //!< Hash-synthesized values, zero resident memory.
+};
+
+class EmbeddingTable
+{
+  public:
+    /**
+     * @param num_rows Number of embedding vectors.
+     * @param dim Embedding vector dimension.
+     * @param storage Materialized or Virtual (see file comment).
+     * @param seed Seed for value initialization (materialized mode) or
+     *             hash salt (virtual mode).
+     */
+    EmbeddingTable(std::uint64_t num_rows, std::uint32_t dim,
+                   Storage storage = Storage::Materialized,
+                   std::uint64_t seed = 42);
+
+    std::uint64_t numRows() const { return numRows_; }
+    std::uint32_t dim() const { return dim_; }
+    Storage storage() const { return storage_; }
+
+    /** Bytes of one embedding vector. */
+    Bytes rowBytes() const { return Bytes{dim_} * sizeof(float); }
+
+    /** Logical size of the whole table in bytes. */
+    Bytes totalBytes() const { return numRows_ * rowBytes(); }
+
+    /**
+     * Read one row into `out` (length dim()). Virtual tables synthesize
+     * the row on the fly.
+     */
+    void readRow(std::uint64_t row, float *out) const;
+
+    /** Element (row, d); convenience for tests. */
+    float at(std::uint64_t row, std::uint32_t d) const;
+
+    /**
+     * Gather-and-sum-pool kernel (the paper's embedding layer
+     * operation). For each batch item i, sums the rows addressed by
+     * indices[offsets[i] .. offsets[i+1]) into out[i*dim .. (i+1)*dim).
+     *
+     * @param indices Row IDs to gather.
+     * @param offsets Per-batch-item start positions within `indices`.
+     * @param out Output buffer of size offsets.size() * dim().
+     * @return Number of rows gathered.
+     */
+    std::size_t gatherPool(const std::vector<std::uint32_t> &indices,
+                           const std::vector<std::uint32_t> &offsets,
+                           float *out) const;
+
+    /**
+     * Bytes of memory traffic one gatherPool over `num_gathers` rows
+     * causes (reads only; used by the hardware latency model).
+     */
+    Bytes gatherTrafficBytes(std::size_t num_gathers) const
+    {
+        return num_gathers * rowBytes();
+    }
+
+  private:
+    void synthesizeRow(std::uint64_t row, float *out) const;
+
+    std::uint64_t numRows_;
+    std::uint32_t dim_;
+    Storage storage_;
+    std::uint64_t seed_;
+    std::vector<float> data_;
+};
+
+} // namespace erec::embedding

@@ -1,0 +1,99 @@
+#include "elasticrec/embedding/sharded_table.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::embedding {
+
+ShardedTable::ShardedTable(std::shared_ptr<const EmbeddingTable> table,
+                           std::vector<std::uint32_t> sort_perm,
+                           std::vector<std::uint64_t> boundaries)
+    : table_(std::move(table)), sortPerm_(std::move(sort_perm)),
+      boundaries_(std::move(boundaries))
+{
+    ERC_CHECK(table_ != nullptr, "null backing table");
+    ERC_CHECK(!boundaries_.empty(), "need at least one shard");
+    ERC_CHECK(sortPerm_.empty() || sortPerm_.size() == table_->numRows(),
+              "sort permutation must cover the whole table");
+    std::uint64_t prev = 0;
+    for (auto b : boundaries_) {
+        ERC_CHECK(b > prev, "shard boundaries must be strictly increasing");
+        prev = b;
+    }
+    ERC_CHECK(boundaries_.back() == table_->numRows(),
+              "last boundary must equal the table row count");
+}
+
+ShardRange
+ShardedTable::shardRange(std::uint32_t s) const
+{
+    ERC_CHECK(s < numShards(), "shard index out of range");
+    const std::uint64_t begin = s == 0 ? 0 : boundaries_[s - 1];
+    return {begin, boundaries_[s]};
+}
+
+Bytes
+ShardedTable::shardBytes(std::uint32_t s) const
+{
+    return shardRange(s).rows() * table_->rowBytes();
+}
+
+std::uint32_t
+ShardedTable::shardOfRank(std::uint64_t rank) const
+{
+    ERC_CHECK(rank < table_->numRows(), "rank out of range");
+    const auto it =
+        std::upper_bound(boundaries_.begin(), boundaries_.end(), rank);
+    return static_cast<std::uint32_t>(it - boundaries_.begin());
+}
+
+std::uint64_t
+ShardedTable::localId(std::uint64_t rank) const
+{
+    const auto s = shardOfRank(rank);
+    return rank - shardRange(s).begin;
+}
+
+std::uint32_t
+ShardedTable::originalId(std::uint64_t rank) const
+{
+    ERC_CHECK(rank < table_->numRows(), "rank out of range");
+    if (sortPerm_.empty())
+        return static_cast<std::uint32_t>(rank);
+    return sortPerm_[rank];
+}
+
+std::size_t
+ShardedTable::gatherPool(std::uint32_t s,
+                         const std::vector<std::uint32_t> &local_indices,
+                         const std::vector<std::uint32_t> &offsets,
+                         float *out) const
+{
+    const ShardRange range = shardRange(s);
+    const std::uint32_t dim = table_->dim();
+    ERC_CHECK(!offsets.empty(), "gatherPool needs at least one batch item");
+    const std::size_t batch = offsets.size();
+    std::vector<float> row(dim);
+    for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t begin = offsets[b];
+        const std::size_t end =
+            (b + 1 < batch) ? offsets[b + 1] : local_indices.size();
+        ERC_CHECK(begin <= end && end <= local_indices.size(),
+                  "offset array is not monotone within the index array");
+        float *acc = out + b * dim;
+        std::memset(acc, 0, dim * sizeof(float));
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::uint64_t rank = range.begin + local_indices[i];
+            ERC_CHECK(rank < range.end,
+                      "local gather index escapes the shard");
+            table_->readRow(originalId(rank), row.data());
+            for (std::uint32_t d = 0; d < dim; ++d)
+                acc[d] += row[d];
+        }
+    }
+    return local_indices.size();
+}
+
+} // namespace erec::embedding

@@ -1,0 +1,27 @@
+#include "elasticrec/hw/network.h"
+
+#include "elasticrec/common/error.h"
+
+namespace erec::hw {
+
+NetworkLink::NetworkLink(double bytes_per_sec, SimTime base_latency)
+    : bytesPerSec_(bytes_per_sec), baseLatency_(base_latency)
+{
+    ERC_CHECK(bytes_per_sec > 0, "link bandwidth must be positive");
+    ERC_CHECK(base_latency >= 0, "base latency must be non-negative");
+}
+
+NetworkLink::NetworkLink(const NodeSpec &node)
+    : NetworkLink(node.netBandwidth, node.netBaseLatency)
+{
+}
+
+SimTime
+NetworkLink::transferTime(Bytes message_bytes) const
+{
+    const double ser_s =
+        static_cast<double>(message_bytes) / bytesPerSec_;
+    return baseLatency_ + static_cast<SimTime>(ser_s * 1e6 + 0.5);
+}
+
+} // namespace erec::hw

@@ -1,0 +1,39 @@
+#pragma once
+
+/**
+ * @file
+ * Datacenter network link model: a fixed one-way base latency plus a
+ * size-proportional serialization delay. Used by the RPC fabric to
+ * charge inter-shard communication (the source of ElasticRec's reported
+ * 31 ms / 60 ms added latency).
+ */
+
+#include "elasticrec/common/units.h"
+#include "elasticrec/hw/platform.h"
+
+namespace erec::hw {
+
+class NetworkLink
+{
+  public:
+    /**
+     * @param bytes_per_sec Link bandwidth.
+     * @param base_latency One-way propagation + switching latency.
+     */
+    NetworkLink(double bytes_per_sec, SimTime base_latency);
+
+    /** Link derived from a node spec's NIC parameters. */
+    explicit NetworkLink(const NodeSpec &node);
+
+    /** One-way latency for a message of the given size. */
+    SimTime transferTime(Bytes message_bytes) const;
+
+    double bandwidth() const { return bytesPerSec_; }
+    SimTime baseLatency() const { return baseLatency_; }
+
+  private:
+    double bytesPerSec_;
+    SimTime baseLatency_;
+};
+
+} // namespace erec::hw

@@ -1,0 +1,130 @@
+#include "elasticrec/model/dlrm.h"
+
+#include <cmath>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::model {
+
+Dlrm::Dlrm(DlrmConfig config, embedding::Storage storage,
+           std::uint64_t seed)
+    : config_(std::move(config)), bottomMlp_(config_.bottomMlp, seed),
+      topMlp_(config_.topMlp, seed + 1)
+{
+    ERC_CHECK(config_.bottomMlp.outputDim() == config_.embeddingDim,
+              "bottom MLP output dim ("
+                  << config_.bottomMlp.outputDim()
+                  << ") must equal the embedding dim ("
+                  << config_.embeddingDim
+                  << ") for feature interaction");
+    tables_.reserve(config_.numTables);
+    for (std::uint32_t t = 0; t < config_.numTables; ++t) {
+        tables_.push_back(std::make_shared<embedding::EmbeddingTable>(
+            config_.rowsPerTable, config_.embeddingDim, storage,
+            seed + 100 + t));
+    }
+}
+
+std::shared_ptr<const embedding::EmbeddingTable>
+Dlrm::table(std::uint32_t t) const
+{
+    ERC_CHECK(t < tables_.size(), "table index out of range");
+    return tables_[t];
+}
+
+std::vector<float>
+Dlrm::runBottom(const std::vector<float> &dense_in, std::size_t batch) const
+{
+    ERC_CHECK(dense_in.size() == batch * config_.bottomMlp.inputDim(),
+              "dense input size mismatch");
+    std::vector<float> out(batch * config_.bottomMlp.outputDim());
+    bottomMlp_.forward(dense_in.data(), batch, out.data());
+    return out;
+}
+
+std::vector<float>
+Dlrm::interactAndPredict(const std::vector<float> &bottom_out,
+                         const std::vector<std::vector<float>> &pooled,
+                         std::size_t batch) const
+{
+    const std::uint32_t dim = config_.embeddingDim;
+    const std::uint32_t f = config_.numTables + 1;
+    ERC_CHECK(pooled.size() == config_.numTables,
+              "need one pooled vector set per table");
+    ERC_CHECK(bottom_out.size() == batch * dim,
+              "bottom output size mismatch");
+    for (const auto &p : pooled)
+        ERC_CHECK(p.size() == batch * dim, "pooled output size mismatch");
+
+    const std::uint32_t top_in = config_.topMlp.inputDim();
+    std::vector<float> top_input(batch * top_in, 0.0f);
+
+    // Build the interaction feature vector per item: all pairwise dot
+    // products among {bottom, pooled tables}, then the bottom output
+    // itself, padded (or truncated) to the top MLP's input width.
+    std::vector<const float *> feats(f);
+    for (std::size_t b = 0; b < batch; ++b) {
+        feats[0] = &bottom_out[b * dim];
+        for (std::uint32_t t = 0; t < config_.numTables; ++t)
+            feats[t + 1] = &pooled[t][b * dim];
+
+        float *dst = &top_input[b * top_in];
+        std::uint32_t w = 0;
+        for (std::uint32_t i = 0; i < f && w < top_in; ++i) {
+            for (std::uint32_t j = i + 1; j < f && w < top_in; ++j) {
+                float dot = 0.0f;
+                for (std::uint32_t d = 0; d < dim; ++d)
+                    dot += feats[i][d] * feats[j][d];
+                dst[w++] = dot;
+            }
+        }
+        for (std::uint32_t d = 0; d < dim && w < top_in; ++d)
+            dst[w++] = feats[0][d];
+        // Remaining entries stay zero (width padding).
+    }
+
+    std::vector<float> logits(batch * config_.topMlp.outputDim());
+    topMlp_.forward(top_input.data(), batch, logits.data());
+
+    std::vector<float> probs(batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+        const float z = logits[b * config_.topMlp.outputDim()];
+        probs[b] = 1.0f / (1.0f + std::exp(-z));
+    }
+    return probs;
+}
+
+std::vector<float>
+Dlrm::forward(const std::vector<float> &dense_in,
+              const std::vector<workload::SparseLookup> &lookups,
+              std::size_t batch) const
+{
+    ERC_CHECK(lookups.size() == config_.numTables,
+              "need one lookup set per table");
+    const std::uint32_t dim = config_.embeddingDim;
+
+    auto bottom = runBottom(dense_in, batch);
+
+    std::vector<std::vector<float>> pooled(config_.numTables);
+    for (std::uint32_t t = 0; t < config_.numTables; ++t) {
+        ERC_CHECK(lookups[t].batchSize() == batch,
+                  "lookup batch size mismatch for table " << t);
+        pooled[t].assign(batch * dim, 0.0f);
+        tables_[t]->gatherPool(lookups[t].indices, lookups[t].offsets,
+                               pooled[t].data());
+    }
+
+    return interactAndPredict(bottom, pooled, batch);
+}
+
+std::vector<float>
+Dlrm::syntheticDenseInput(std::uint64_t query_id, std::size_t batch) const
+{
+    Rng rng(0xD15EA5Eull ^ query_id);
+    std::vector<float> in(batch * config_.bottomMlp.inputDim());
+    for (auto &v : in)
+        v = static_cast<float>(rng.uniform());
+    return in;
+}
+
+} // namespace erec::model

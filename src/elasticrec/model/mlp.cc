@@ -1,0 +1,109 @@
+#include "elasticrec/model/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::model {
+
+std::uint64_t
+MlpSpec::flopsPerItem() const
+{
+    std::uint64_t flops = 0;
+    for (std::size_t l = 0; l + 1 < widths.size(); ++l) {
+        flops += 2ull * widths[l] * widths[l + 1];
+    }
+    return flops;
+}
+
+Bytes
+MlpSpec::paramBytes() const
+{
+    Bytes params = 0;
+    for (std::size_t l = 0; l + 1 < widths.size(); ++l)
+        params += Bytes{widths[l]} * widths[l + 1] + widths[l + 1];
+    return params * sizeof(float);
+}
+
+std::string
+MlpSpec::toString() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        if (i)
+            oss << '-';
+        oss << widths[i];
+    }
+    return oss.str();
+}
+
+Mlp::Mlp(MlpSpec spec, std::uint64_t seed) : spec_(std::move(spec))
+{
+    ERC_CHECK(spec_.widths.size() >= 2,
+              "an MLP needs an input width and at least one layer");
+    for (auto w : spec_.widths)
+        ERC_CHECK(w > 0, "layer widths must be positive");
+    Rng rng(seed);
+    weights_.resize(spec_.numLayers());
+    biases_.resize(spec_.numLayers());
+    for (std::size_t l = 0; l < spec_.numLayers(); ++l) {
+        const std::size_t fan_in = spec_.widths[l];
+        const std::size_t fan_out = spec_.widths[l + 1];
+        // Xavier-uniform initialization.
+        const double bound =
+            std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+        weights_[l].resize(fan_in * fan_out);
+        for (auto &w : weights_[l])
+            w = static_cast<float>(rng.uniform(-bound, bound));
+        biases_[l].assign(fan_out, 0.0f);
+    }
+}
+
+void
+Mlp::forward(const float *in, std::size_t batch, float *out) const
+{
+    const auto &widths = spec_.widths;
+    std::vector<float> cur(in, in + batch * widths.front());
+    std::vector<float> next;
+    for (std::size_t l = 0; l < spec_.numLayers(); ++l) {
+        const std::size_t fan_in = widths[l];
+        const std::size_t fan_out = widths[l + 1];
+        const bool last = (l + 1 == spec_.numLayers());
+        next.assign(batch * fan_out, 0.0f);
+        const float *w = weights_[l].data();
+        for (std::size_t b = 0; b < batch; ++b) {
+            const float *x = &cur[b * fan_in];
+            float *y = &next[b * fan_out];
+            for (std::size_t i = 0; i < fan_in; ++i) {
+                const float xi = x[i];
+                if (xi == 0.0f)
+                    continue;
+                const float *wrow = &w[i * fan_out];
+                for (std::size_t o = 0; o < fan_out; ++o)
+                    y[o] += xi * wrow[o];
+            }
+            for (std::size_t o = 0; o < fan_out; ++o) {
+                y[o] += biases_[l][o];
+                if (!last)
+                    y[o] = std::max(y[o], 0.0f);
+            }
+        }
+        cur.swap(next);
+    }
+    std::copy(cur.begin(), cur.end(), out);
+}
+
+std::vector<float>
+Mlp::forward(const std::vector<float> &in) const
+{
+    ERC_CHECK(in.size() == spec_.inputDim(),
+              "input size " << in.size() << " != input dim "
+                            << spec_.inputDim());
+    std::vector<float> out(spec_.outputDim());
+    forward(in.data(), 1, out.data());
+    return out;
+}
+
+} // namespace erec::model

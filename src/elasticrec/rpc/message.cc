@@ -1,0 +1,6 @@
+#include "elasticrec/rpc/message.h"
+
+// Wire-size accounting is header-only; this translation unit exists so
+// the library has a stable archive member for the module.
+namespace erec::rpc {
+} // namespace erec::rpc

@@ -1,0 +1,73 @@
+#include "elasticrec/serving/dense_shard_server.h"
+
+#include "elasticrec/common/error.h"
+
+namespace erec::serving {
+
+DenseShardServer::DenseShardServer(
+    std::shared_ptr<const model::Dlrm> dlrm,
+    std::vector<core::Bucketizer> bucketizers,
+    std::vector<std::vector<std::shared_ptr<SparseShardServer>>> shards)
+    : dlrm_(std::move(dlrm)), bucketizers_(std::move(bucketizers)),
+      shards_(std::move(shards))
+{
+    ERC_CHECK(dlrm_ != nullptr, "null model");
+    const auto tables = dlrm_->config().numTables;
+    ERC_CHECK(bucketizers_.size() == tables,
+              "need one bucketizer per table");
+    ERC_CHECK(shards_.size() == tables,
+              "need one shard list per table");
+    for (std::uint32_t t = 0; t < tables; ++t) {
+        ERC_CHECK(shards_[t].size() == bucketizers_[t].numShards(),
+                  "table " << t << ": shard server count ("
+                           << shards_[t].size()
+                           << ") must match bucketizer shards ("
+                           << bucketizers_[t].numShards() << ")");
+        for (const auto &s : shards_[t])
+            ERC_CHECK(s != nullptr, "null shard server for table " << t);
+    }
+}
+
+std::vector<float>
+DenseShardServer::serve(const std::vector<float> &dense_in,
+                        const std::vector<workload::SparseLookup> &lookups,
+                        std::size_t batch) const
+{
+    const auto &config = dlrm_->config();
+    ERC_CHECK(lookups.size() == config.numTables,
+              "need one lookup set per table");
+    const std::uint32_t dim = config.embeddingDim;
+
+    // (1) Bottom MLP runs concurrently with the gather RPCs in the real
+    // system; functionally it is just computed first here.
+    auto bottom = dlrm_->runBottom(dense_in, batch);
+
+    // (2)+(3) Bucketize, gather from every shard, and merge. Sum
+    // pooling distributes over the shard partition, so the per-table
+    // pooled output is the elementwise sum of the shard responses.
+    std::vector<std::vector<float>> pooled(config.numTables);
+    for (std::uint32_t t = 0; t < config.numTables; ++t) {
+        const auto buckets = bucketizers_[t].bucketize(lookups[t]);
+        pooled[t].assign(batch * dim, 0.0f);
+        for (std::uint32_t s = 0; s < buckets.size(); ++s) {
+            if (buckets[s].indices.empty())
+                continue; // No gathers land in this shard: skip the RPC.
+            const auto part = shards_[t][s]->gather(buckets[s]);
+            for (std::size_t i = 0; i < pooled[t].size(); ++i)
+                pooled[t][i] += part[i];
+        }
+    }
+
+    // (4) Feature interaction + top MLP + sigmoid.
+    return dlrm_->interactAndPredict(bottom, pooled, batch);
+}
+
+std::vector<float>
+DenseShardServer::serve(const workload::Query &query) const
+{
+    const auto dense_in =
+        dlrm_->syntheticDenseInput(query.id, query.batchSize);
+    return serve(dense_in, query.lookups, query.batchSize);
+}
+
+} // namespace erec::serving

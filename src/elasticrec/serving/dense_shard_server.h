@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file
+ * Dense DNN shard microservice: the front-end of an ElasticRec
+ * deployment (Section IV-A, "Life of an inference query").
+ *
+ * On each query it (1) runs the bottom MLP over the dense features,
+ * (2) bucketizes the sparse index/offset arrays per embedding shard and
+ * issues gather RPCs, (3) merges the shard responses (sum pooling is
+ * additive across shards), and (4) runs feature interaction + top MLP
+ * to produce click probabilities.
+ *
+ * This class implements the functional path with real floats and
+ * in-process calls to SparseShardServer instances; the simulator models
+ * the same flow's timing at cluster scale.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "elasticrec/core/bucketizer.h"
+#include "elasticrec/model/dlrm.h"
+#include "elasticrec/serving/sparse_shard_server.h"
+#include "elasticrec/workload/query_generator.h"
+
+namespace erec::serving {
+
+class DenseShardServer
+{
+  public:
+    /**
+     * @param dlrm The model whose dense parts this shard runs.
+     * @param bucketizers One per table, built from that table's
+     *        partitioning points and inverse hotness permutation.
+     * @param shards shards[t][s] serves table t's shard s.
+     */
+    DenseShardServer(
+        std::shared_ptr<const model::Dlrm> dlrm,
+        std::vector<core::Bucketizer> bucketizers,
+        std::vector<std::vector<std::shared_ptr<SparseShardServer>>>
+            shards);
+
+    /**
+     * Serve one query end to end.
+     *
+     * @param dense_in Batch x bottom-MLP-input dense features.
+     * @param lookups Per-table index/offset arrays with *original*
+     *        table IDs.
+     * @param batch Number of items.
+     * @return Click probability per item.
+     */
+    std::vector<float>
+    serve(const std::vector<float> &dense_in,
+          const std::vector<workload::SparseLookup> &lookups,
+          std::size_t batch) const;
+
+    /** Serve a generated query using synthetic dense features. */
+    std::vector<float> serve(const workload::Query &query) const;
+
+    const model::Dlrm &model() const { return *dlrm_; }
+
+  private:
+    std::shared_ptr<const model::Dlrm> dlrm_;
+    std::vector<core::Bucketizer> bucketizers_;
+    std::vector<std::vector<std::shared_ptr<SparseShardServer>>> shards_;
+};
+
+} // namespace erec::serving

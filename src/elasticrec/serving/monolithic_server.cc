@@ -1,0 +1,35 @@
+#include "elasticrec/serving/monolithic_server.h"
+
+#include "elasticrec/common/error.h"
+
+namespace erec::serving {
+
+MonolithicServer::MonolithicServer(std::shared_ptr<const model::Dlrm> dlrm)
+    : dlrm_(std::move(dlrm))
+{
+    ERC_CHECK(dlrm_ != nullptr, "null model");
+}
+
+std::vector<float>
+MonolithicServer::serve(const std::vector<float> &dense_in,
+                        const std::vector<workload::SparseLookup> &lookups,
+                        std::size_t batch) const
+{
+    return dlrm_->forward(dense_in, lookups, batch);
+}
+
+std::vector<float>
+MonolithicServer::serve(const workload::Query &query) const
+{
+    const auto dense_in =
+        dlrm_->syntheticDenseInput(query.id, query.batchSize);
+    return serve(dense_in, query.lookups, query.batchSize);
+}
+
+Bytes
+MonolithicServer::memBytes() const
+{
+    return dlrm_->config().totalParamBytes();
+}
+
+} // namespace erec::serving

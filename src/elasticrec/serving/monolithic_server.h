@@ -1,0 +1,41 @@
+#pragma once
+
+/**
+ * @file
+ * Model-wise (monolithic) inference server: the baseline architecture
+ * of Figure 2(a). The whole model lives in one container; queries run
+ * the full DLRM forward locally with no bucketization or RPC.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "elasticrec/model/dlrm.h"
+#include "elasticrec/workload/query_generator.h"
+
+namespace erec::serving {
+
+class MonolithicServer
+{
+  public:
+    explicit MonolithicServer(std::shared_ptr<const model::Dlrm> dlrm);
+
+    /** Serve one query (original-ID lookups) end to end. */
+    std::vector<float>
+    serve(const std::vector<float> &dense_in,
+          const std::vector<workload::SparseLookup> &lookups,
+          std::size_t batch) const;
+
+    /** Serve a generated query using synthetic dense features. */
+    std::vector<float> serve(const workload::Query &query) const;
+
+    /** Memory footprint of this server's parameters. */
+    Bytes memBytes() const;
+
+    const model::Dlrm &model() const { return *dlrm_; }
+
+  private:
+    std::shared_ptr<const model::Dlrm> dlrm_;
+};
+
+} // namespace erec::serving

@@ -1,0 +1,41 @@
+#include "elasticrec/serving/sparse_shard_server.h"
+
+#include "elasticrec/common/error.h"
+
+namespace erec::serving {
+
+SparseShardServer::SparseShardServer(
+    std::shared_ptr<const embedding::ShardedTable> table,
+    std::uint32_t shard_id)
+    : table_(std::move(table)), shardId_(shard_id)
+{
+    ERC_CHECK(table_ != nullptr, "null sharded table");
+    ERC_CHECK(shard_id < table_->numShards(),
+              "shard ID " << shard_id << " out of range");
+}
+
+embedding::ShardRange
+SparseShardServer::range() const
+{
+    return table_->shardRange(shardId_);
+}
+
+Bytes
+SparseShardServer::memBytes() const
+{
+    return table_->shardBytes(shardId_);
+}
+
+std::vector<float>
+SparseShardServer::gather(const workload::SparseLookup &local_lookup) const
+{
+    const std::size_t batch = local_lookup.batchSize();
+    ERC_CHECK(batch > 0, "gather request must carry at least one item");
+    std::vector<float> pooled(batch * table_->table().dim(), 0.0f);
+    rowsGathered_ += table_->gatherPool(shardId_, local_lookup.indices,
+                                        local_lookup.offsets,
+                                        pooled.data());
+    return pooled;
+}
+
+} // namespace erec::serving

@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * Sparse embedding shard microservice (Section IV-A): owns one
+ * partitioned slice of a hotness-sorted embedding table and answers
+ * gather requests carrying shard-local index IDs (the output of the
+ * bucketizer). This is the functional (real data) execution path; the
+ * cluster simulator separately charges its latency via the planner's
+ * shard specs.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "elasticrec/embedding/sharded_table.h"
+#include "elasticrec/workload/query_generator.h"
+
+namespace erec::serving {
+
+class SparseShardServer
+{
+  public:
+    /**
+     * @param table The partitioned table this shard belongs to.
+     * @param shard_id Which shard of the table this server owns.
+     */
+    SparseShardServer(std::shared_ptr<const embedding::ShardedTable> table,
+                      std::uint32_t shard_id);
+
+    std::uint32_t shardId() const { return shardId_; }
+    embedding::ShardRange range() const;
+    Bytes memBytes() const;
+
+    /**
+     * Serve one gather request: shard-local indices + full-batch
+     * offsets, returning one pooled vector per batch item
+     * (batch x dim floats).
+     */
+    std::vector<float>
+    gather(const workload::SparseLookup &local_lookup) const;
+
+    /** Total rows gathered by this server so far (load accounting). */
+    std::uint64_t rowsGathered() const { return rowsGathered_; }
+
+  private:
+    std::shared_ptr<const embedding::ShardedTable> table_;
+    std::uint32_t shardId_;
+    mutable std::uint64_t rowsGathered_ = 0;
+};
+
+} // namespace erec::serving

@@ -1,0 +1,60 @@
+#include "elasticrec/serving/stack_builder.h"
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/embedding/frequency_tracker.h"
+
+namespace erec::serving {
+
+ElasticRecStack
+buildElasticRecStack(
+    std::shared_ptr<const model::Dlrm> dlrm,
+    std::vector<std::vector<std::uint64_t>> boundaries_per_table,
+    std::vector<std::vector<std::uint32_t>> sort_perm_per_table)
+{
+    ERC_CHECK(dlrm != nullptr, "null model");
+    const std::uint32_t tables = dlrm->config().numTables;
+    ERC_CHECK(boundaries_per_table.size() == 1 ||
+                  boundaries_per_table.size() == tables,
+              "pass one boundary set or one per table");
+    ERC_CHECK(sort_perm_per_table.empty() ||
+                  sort_perm_per_table.size() == 1 ||
+                  sort_perm_per_table.size() == tables,
+              "pass zero, one, or one-per-table sort permutations");
+
+    auto boundaries_for = [&](std::uint32_t t)
+        -> const std::vector<std::uint64_t> & {
+        return boundaries_per_table.size() == 1 ? boundaries_per_table[0]
+                                                : boundaries_per_table[t];
+    };
+    auto perm_for = [&](std::uint32_t t) -> std::vector<std::uint32_t> {
+        if (sort_perm_per_table.empty())
+            return {};
+        return sort_perm_per_table.size() == 1 ? sort_perm_per_table[0]
+                                               : sort_perm_per_table[t];
+    };
+
+    ElasticRecStack stack;
+    std::vector<core::Bucketizer> bucketizers;
+    for (std::uint32_t t = 0; t < tables; ++t) {
+        auto perm = perm_for(t);
+        auto sharded = std::make_shared<embedding::ShardedTable>(
+            dlrm->table(t), perm, boundaries_for(t));
+        stack.tables.push_back(sharded);
+
+        std::vector<std::uint32_t> inv;
+        if (!perm.empty())
+            inv = embedding::FrequencyTracker::invertPermutation(perm);
+        bucketizers.emplace_back(boundaries_for(t), std::move(inv));
+
+        std::vector<std::shared_ptr<SparseShardServer>> servers;
+        for (std::uint32_t s = 0; s < sharded->numShards(); ++s)
+            servers.push_back(
+                std::make_shared<SparseShardServer>(sharded, s));
+        stack.shards.push_back(std::move(servers));
+    }
+    stack.frontend = std::make_shared<DenseShardServer>(
+        dlrm, std::move(bucketizers), stack.shards);
+    return stack;
+}
+
+} // namespace erec::serving

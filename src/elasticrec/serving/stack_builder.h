@@ -1,0 +1,42 @@
+#pragma once
+
+/**
+ * @file
+ * Convenience builder wiring a complete ElasticRec functional serving
+ * stack: per-table ShardedTable views, one SparseShardServer per shard,
+ * per-table Bucketizers, and the DenseShardServer front end.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "elasticrec/serving/dense_shard_server.h"
+
+namespace erec::serving {
+
+/** A fully wired in-process ElasticRec deployment. */
+struct ElasticRecStack
+{
+    std::shared_ptr<DenseShardServer> frontend;
+    std::vector<std::shared_ptr<const embedding::ShardedTable>> tables;
+    std::vector<std::vector<std::shared_ptr<SparseShardServer>>> shards;
+};
+
+/**
+ * Build the stack.
+ *
+ * @param dlrm The model (provides tables and dense layers).
+ * @param boundaries_per_table Partitioning points per table in
+ *        hotness-sorted space. Pass a single entry to reuse one plan
+ *        for every table.
+ * @param sort_perm_per_table Hotness permutation per table
+ *        (rank -> original ID). Pass an empty vector when tables are
+ *        already hotness-sorted; pass a single entry to share one.
+ */
+ElasticRecStack buildElasticRecStack(
+    std::shared_ptr<const model::Dlrm> dlrm,
+    std::vector<std::vector<std::uint64_t>> boundaries_per_table,
+    std::vector<std::vector<std::uint32_t>> sort_perm_per_table = {});
+
+} // namespace erec::serving

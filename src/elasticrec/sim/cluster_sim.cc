@@ -1,0 +1,477 @@
+#include "elasticrec/sim/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/rpc/message.h"
+
+namespace erec::sim {
+
+namespace {
+
+/** Shared fan-out/fan-in context of one in-flight query. */
+struct QueryCtx
+{
+    SimTime arrival = 0;
+    std::uint32_t outstanding = 0;
+    SimTime lastDone = 0;
+};
+
+} // namespace
+
+ClusterSimulation::ClusterSimulation(core::DeploymentPlan plan,
+                                     hw::NodeSpec node,
+                                     workload::TrafficPattern traffic,
+                                     SimOptions options)
+    : plan_(std::move(plan)), node_(std::move(node)),
+      traffic_(std::move(traffic)), options_(options),
+      rng_(options.seed), arrivals_(traffic_, options.seed ^ 0xA551),
+      channel_(hw::NetworkLink(node_)),
+      scheduler_(node_)
+{
+    ERC_CHECK(!plan_.shards.empty(), "deployment plan has no shards");
+    const double initial_qps = traffic_.qpsAt(0);
+
+    for (const auto &spec : plan_.shards) {
+        DeploymentState ds;
+        const std::uint32_t initial =
+            options_.warmStart
+                ? core::DeploymentPlan::replicasForTarget(spec,
+                                                          initial_qps)
+                : 1;
+        ds.deployment =
+            std::make_unique<cluster::Deployment>(spec, initial);
+
+        cluster::HpaPolicy policy;
+        policy.syncPeriod = options_.hpaSyncPeriod;
+        policy.stabilizationWindow = options_.hpaStabilization;
+        if (spec.kind == core::ShardKind::SparseEmbedding) {
+            policy.metric = cluster::HpaMetric::QpsPerReplica;
+            policy.target =
+                spec.qpsPerReplica * options_.sparseUtilizationTarget;
+        } else {
+            policy.metric = cluster::HpaMetric::TailLatency;
+            policy.target = static_cast<double>(options_.sla) *
+                            options_.denseLatencyTargetFraction;
+        }
+        ds.hpa = std::make_unique<cluster::Hpa>(policy);
+        ds.balancer = std::make_unique<cluster::LoadBalancer>(
+            options_.lbPolicy,
+            options_.seed ^ std::hash<std::string>{}(spec.name));
+
+        if (spec.kind == core::ShardKind::SparseEmbedding) {
+            rpc::GatherRequest req;
+            req.numIndices = static_cast<std::uint32_t>(
+                std::ceil(spec.expectedGathers));
+            req.numOffsets = plan_.config.batchSize;
+            rpc::GatherResponse resp;
+            resp.batch = plan_.config.batchSize;
+            resp.dim = plan_.config.embeddingDim;
+            ds.requestBytes = req.wireBytes();
+            ds.responseBytes = resp.wireBytes();
+        }
+
+        if (spec.kind == core::ShardKind::Dense ||
+            spec.kind == core::ShardKind::Monolithic) {
+            ERC_CHECK(frontendName_.empty(),
+                      "plan has more than one frontend shard");
+            frontendName_ = spec.name;
+        }
+        deploymentOrder_.push_back(spec.name);
+        deployments_.emplace(spec.name, std::move(ds));
+    }
+    ERC_CHECK(!frontendName_.empty(), "plan has no frontend shard");
+}
+
+ClusterSimulation::DeploymentState &
+ClusterSimulation::state(const std::string &name)
+{
+    auto it = deployments_.find(name);
+    ERC_ASSERT(it != deployments_.end(),
+               "unknown deployment " << name);
+    return it->second;
+}
+
+void
+ClusterSimulation::setFixedReplicas(const std::string &deployment,
+                                    std::uint32_t replicas)
+{
+    auto &ds = state(deployment);
+    ds.deployment->setDesiredReplicas(replicas);
+    ds.fixed = true;
+}
+
+void
+ClusterSimulation::injectPodFailure(const std::string &deployment,
+                                    SimTime t, std::uint32_t count)
+{
+    state(deployment); // validate the name early
+    plannedFailures_.push_back({deployment, t, count});
+}
+
+std::uint32_t
+ClusterSimulation::readyReplicas(const DeploymentState &ds) const
+{
+    std::uint32_t n = 0;
+    for (const auto &p : ds.pods)
+        if (p->state() == PodState::Ready)
+            ++n;
+    return n;
+}
+
+Bytes
+ClusterSimulation::liveMemory() const
+{
+    Bytes total = 0;
+    for (const auto &[name, ds] : deployments_)
+        total += Bytes{ds.pods.size()} * ds.deployment->spec().memBytes;
+    return total;
+}
+
+std::uint32_t
+ClusterSimulation::liveNodes() const
+{
+    std::vector<cluster::PodRequest> pods;
+    for (const auto &[name, ds] : deployments_) {
+        const auto req = ds.deployment->request();
+        for (std::size_t i = 0; i < ds.pods.size(); ++i)
+            pods.push_back({name, req});
+    }
+    return scheduler_.pack(pods).numNodes();
+}
+
+double
+ClusterSimulation::jitter()
+{
+    if (options_.serviceJitterSigma <= 0)
+        return 1.0;
+    return std::exp(rng_.normal(0.0, options_.serviceJitterSigma));
+}
+
+void
+ClusterSimulation::addPod(DeploymentState &ds, bool instant)
+{
+    const auto &spec = ds.deployment->spec();
+    auto pod = std::make_unique<Pod>(nextPodId_++, spec.stageLatencies);
+    Pod *raw = pod.get();
+    ds.pods.push_back(std::move(pod));
+    if (instant) {
+        raw->markReady();
+        return;
+    }
+    // Cold start: container scheduling plus loading this shard's
+    // parameters into memory.
+    const SimTime load = units::fromSeconds(
+        static_cast<double>(spec.memBytes) /
+        options_.modelLoadBandwidth);
+    queue_.scheduleAfter(
+        options_.podStartBase + load, [this, &ds, raw]() {
+            // The pod may have been terminated while starting.
+            if (raw->state() != PodState::Starting)
+                return;
+            raw->markReady();
+            // Drain any requests that queued while no pod was ready.
+            while (!ds.pending.empty()) {
+                WorkItem item = std::move(ds.pending.front());
+                ds.pending.pop_front();
+                dispatch(ds, std::move(item));
+            }
+        });
+}
+
+void
+ClusterSimulation::removePod(DeploymentState &ds)
+{
+    // Prefer terminating a pod that is still starting, else the ready
+    // pod with the least in-flight work.
+    Pod *victim = nullptr;
+    for (const auto &p : ds.pods) {
+        if (p->state() == PodState::Starting) {
+            victim = p.get();
+            break;
+        }
+    }
+    if (victim == nullptr) {
+        for (const auto &p : ds.pods) {
+            if (p->state() != PodState::Ready)
+                continue;
+            if (victim == nullptr ||
+                p->inFlight() < victim->inFlight())
+                victim = p.get();
+        }
+    }
+    if (victim == nullptr)
+        return; // Nothing removable (all already terminating).
+
+    victim->markTerminating();
+    for (auto &item : victim->stealQueued())
+        dispatch(ds, std::move(item));
+    reapDrained(ds);
+}
+
+void
+ClusterSimulation::reapDrained(DeploymentState &ds)
+{
+    std::erase_if(ds.pods, [this](const std::unique_ptr<Pod> &p) {
+        if (!p->removable())
+            return false;
+        lostQueries_ += p->lostItems();
+        return true;
+    });
+}
+
+void
+ClusterSimulation::dispatch(DeploymentState &ds, WorkItem item)
+{
+    // Route across ready replicas with the configured policy
+    // (Linkerd's default is power-of-two-choices).
+    std::vector<cluster::LbCandidate> candidates;
+    candidates.reserve(ds.pods.size());
+    for (std::uint32_t i = 0; i < ds.pods.size(); ++i) {
+        if (ds.pods[i]->state() == PodState::Ready)
+            candidates.push_back({i, ds.pods[i]->inFlight()});
+    }
+    if (candidates.empty()) {
+        ds.pending.push_back(std::move(item));
+        return;
+    }
+    const auto chosen = ds.balancer->pick(candidates);
+    ds.pods[chosen]->submit(queue_, std::move(item));
+}
+
+void
+ClusterSimulation::startQuery()
+{
+    auto &fe = state(frontendName_);
+    const SimTime arrival = queue_.now();
+    const bool monolithic =
+        fe.deployment->spec().kind == core::ShardKind::Monolithic;
+
+    if (monolithic) {
+        WorkItem item;
+        item.jitter = jitter();
+        item.onDone = [this, arrival](SimTime done) {
+            const SimTime latency = done - arrival;
+            metrics_.recordCompletion(frontendName_, done, latency);
+            latencyAll_.add(units::toMillis(latency));
+            ++result_.completed;
+            if (latency > options_.sla) {
+                metrics_.recordSlaViolation(frontendName_);
+                ++result_.slaViolations;
+            }
+        };
+        dispatch(fe, std::move(item));
+        return;
+    }
+
+    // ElasticRec: the dense shard computes its MLP while the gather
+    // RPCs fan out to every sparse shard; the query completes when the
+    // dense compute and the slowest shard round trip have both
+    // finished.
+    auto ctx = std::make_shared<QueryCtx>();
+    ctx->arrival = arrival;
+    ctx->outstanding = 1; // dense leg
+    for (const auto &name : deploymentOrder_) {
+        const auto &ds = deployments_.at(name);
+        if (ds.deployment->spec().kind ==
+            core::ShardKind::SparseEmbedding)
+            ++ctx->outstanding;
+    }
+
+    auto component_done = [this, ctx](SimTime done) {
+        ctx->lastDone = std::max(ctx->lastDone, done);
+        if (--ctx->outstanding > 0)
+            return;
+        const SimTime latency = ctx->lastDone - ctx->arrival;
+        metrics_.recordCompletion(frontendName_, ctx->lastDone, latency);
+        latencyAll_.add(units::toMillis(latency));
+        ++result_.completed;
+        if (latency > options_.sla) {
+            metrics_.recordSlaViolation(frontendName_);
+            ++result_.slaViolations;
+        }
+    };
+
+    // Dense leg.
+    {
+        WorkItem item;
+        item.jitter = jitter();
+        item.onDone = component_done;
+        dispatch(fe, std::move(item));
+    }
+
+    // Sparse legs: request network delay, shard service, response
+    // network delay.
+    for (const auto &name : deploymentOrder_) {
+        auto &ds = state(name);
+        if (ds.deployment->spec().kind !=
+            core::ShardKind::SparseEmbedding)
+            continue;
+        const SimTime out = channel_.oneWay(ds.requestBytes);
+        const SimTime back = channel_.oneWay(ds.responseBytes);
+        queue_.scheduleAfter(out, [this, &ds, back, component_done]() {
+            WorkItem item;
+            item.jitter = jitter();
+            item.onDone = [this, &ds, back,
+                           component_done](SimTime done) {
+                metrics_.recordCompletion(ds.deployment->name(), done,
+                                          0);
+                reapDrained(ds);
+                queue_.schedule(done + back,
+                                [component_done, done, back]() {
+                                    component_done(done + back);
+                                });
+            };
+            dispatch(ds, std::move(item));
+        });
+    }
+}
+
+void
+ClusterSimulation::scheduleNextArrival()
+{
+    const SimTime next = arrivals_.nextAfter(queue_.now());
+    if (next > endTime_)
+        return;
+    queue_.schedule(next, [this]() {
+        ++result_.arrivals;
+        startQuery();
+        scheduleNextArrival();
+    });
+}
+
+void
+ClusterSimulation::hpaTick()
+{
+    if (options_.autoscale) {
+        for (const auto &name : deploymentOrder_) {
+            auto &ds = state(name);
+            if (ds.fixed)
+                continue;
+            const std::uint32_t ready = readyReplicas(ds);
+            if (ready == 0)
+                continue;
+            const auto &spec = ds.deployment->spec();
+            double measured = 0.0;
+            if (spec.kind == core::ShardKind::SparseEmbedding) {
+                measured = metrics_.qps(name, queue_.now()) /
+                           static_cast<double>(ready);
+            } else {
+                measured = static_cast<double>(metrics_.latencyQuantile(
+                    frontendName_, queue_.now(), 0.95));
+            }
+            const std::uint32_t desired =
+                ds.hpa->reconcile(queue_.now(), ready, measured);
+            ds.deployment->setDesiredReplicas(desired);
+        }
+    }
+
+    // Reconcile pod counts toward desired (fixed deployments too).
+    for (const auto &name : deploymentOrder_) {
+        auto &ds = state(name);
+        reapDrained(ds);
+        std::uint32_t live = 0;
+        for (const auto &p : ds.pods)
+            if (p->state() == PodState::Ready ||
+                p->state() == PodState::Starting)
+                ++live;
+        const std::uint32_t desired = ds.deployment->desiredReplicas();
+        while (live < desired) {
+            addPod(ds, false);
+            ++live;
+        }
+        while (live > desired) {
+            removePod(ds);
+            --live;
+        }
+    }
+
+    if (queue_.now() + options_.hpaSyncPeriod <= endTime_)
+        queue_.scheduleAfter(options_.hpaSyncPeriod,
+                             [this]() { hpaTick(); });
+}
+
+void
+ClusterSimulation::sampleTick(SimTime end)
+{
+    const SimTime now = queue_.now();
+    result_.targetQps.add(now, traffic_.qpsAt(now));
+    result_.achievedQps.add(now, metrics_.qps(frontendName_, now));
+    const Bytes mem = liveMemory();
+    result_.memoryGiB.add(now, units::toGiB(mem));
+    result_.peakMemory = std::max(result_.peakMemory, mem);
+    result_.p95LatencyMs.add(
+        now, units::toMillis(metrics_.latencyQuantile(frontendName_,
+                                                      now, 0.95)));
+    std::uint32_t ready = 0;
+    for (const auto &[name, ds] : deployments_)
+        ready += readyReplicas(ds);
+    result_.readyReplicas.add(now, ready);
+    const std::uint32_t nodes = liveNodes();
+    result_.nodesInUse.add(now, nodes);
+    result_.peakNodes = std::max(result_.peakNodes, nodes);
+
+    if (now + options_.sampleInterval <= end)
+        queue_.scheduleAfter(options_.sampleInterval,
+                             [this, end]() { sampleTick(end); });
+}
+
+SimResult
+ClusterSimulation::run(SimTime duration)
+{
+    ERC_CHECK(duration > 0, "simulation duration must be positive");
+    result_ = SimResult{};
+    latencyAll_.reset();
+    lostQueries_ = 0;
+    endTime_ = duration;
+
+    // Instantiate the initial replica set, ready at t = 0.
+    for (const auto &name : deploymentOrder_) {
+        auto &ds = state(name);
+        while (ds.pods.size() < ds.deployment->desiredReplicas())
+            addPod(ds, true);
+    }
+
+    for (const auto &failure : plannedFailures_) {
+        queue_.schedule(failure.time, [this, failure]() {
+            auto &ds = state(failure.deployment);
+            for (std::uint32_t k = 0; k < failure.count; ++k) {
+                // Crash the most-loaded ready pod (worst case).
+                Pod *victim = nullptr;
+                for (const auto &p : ds.pods) {
+                    if (p->state() != PodState::Ready)
+                        continue;
+                    if (victim == nullptr ||
+                        p->inFlight() > victim->inFlight())
+                        victim = p.get();
+                }
+                if (victim == nullptr)
+                    break;
+                for (auto &item : victim->crash())
+                    dispatch(ds, std::move(item));
+                reapDrained(ds);
+            }
+        });
+    }
+
+    scheduleNextArrival();
+    queue_.scheduleAfter(options_.hpaSyncPeriod,
+                         [this]() { hpaTick(); });
+    sampleTick(duration);
+    queue_.runUntil(duration);
+
+    result_.meanLatencyMs = latencyAll_.mean();
+    result_.p95LatencyOverallMs = latencyAll_.p95();
+    for (const auto &name : deploymentOrder_) {
+        auto &ds = state(name);
+        for (const auto &p : ds.pods)
+            lostQueries_ += p->lostItems();
+        result_.finalReplicas[name] =
+            static_cast<std::uint32_t>(ds.pods.size());
+    }
+    return result_;
+}
+
+} // namespace erec::sim

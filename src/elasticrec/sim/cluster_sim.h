@@ -1,0 +1,200 @@
+#pragma once
+
+/**
+ * @file
+ * Cluster-scale serving simulation.
+ *
+ * Binds together a deployment plan (ElasticRec or a baseline), the
+ * hardware platform, a traffic pattern, load balancing, the RPC fabric
+ * and Kubernetes-style autoscaling, and plays inference traffic through
+ * it as a discrete-event simulation:
+ *
+ *   arrival -> frontend LB -> dense (or monolithic) pod
+ *            -> scatter: per-shard gather RPC -> sparse LB -> pod
+ *            -> gather: all responses merged -> completion
+ *
+ * ElasticRec's dense shard overlaps its bottom-MLP compute with the
+ * gather RPCs (Section IV-A), so a query's processing time at the
+ * frontend is max(dense compute, slowest shard round trip). The
+ * monolithic baseline runs dense and sparse as two pipelined stages
+ * inside one pod and pays no network.
+ *
+ * The HPA controller reconciles every sync period: sparse deployments
+ * scale on QPS-per-replica against their stress-tested QPS_max
+ * (Section IV-D), dense/monolithic deployments scale on P95 latency
+ * against 65% of the SLA. New pods charge a cold-start delay that
+ * includes loading their parameters at a fixed bandwidth — the term
+ * that makes baseline scale-out sluggish in Figure 19.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "elasticrec/cluster/deployment.h"
+#include "elasticrec/cluster/hpa.h"
+#include "elasticrec/cluster/load_balancer.h"
+#include "elasticrec/cluster/metrics.h"
+#include "elasticrec/cluster/scheduler.h"
+#include "elasticrec/common/rng.h"
+#include "elasticrec/common/stats.h"
+#include "elasticrec/core/planner.h"
+#include "elasticrec/rpc/channel.h"
+#include "elasticrec/sim/event_queue.h"
+#include "elasticrec/sim/pod.h"
+#include "elasticrec/workload/traffic.h"
+
+namespace erec::sim {
+
+struct SimOptions
+{
+    /** End-to-end SLA bound (the paper uses 400 ms). */
+    SimTime sla = 400 * units::kMillisecond;
+    /** Dense/monolithic HPA latency target as a fraction of the SLA. */
+    double denseLatencyTargetFraction = 0.65;
+    /**
+     * Sparse HPA target utilization: scale out when per-replica QPS
+     * exceeds this fraction of the shard's QPS_max.
+     */
+    double sparseUtilizationTarget = 0.70;
+    /** HPA sync period. */
+    SimTime hpaSyncPeriod = 15 * units::kSecond;
+    /** Scale-down stabilization window. */
+    SimTime hpaStabilization = 180 * units::kSecond;
+    /** Container cold-start latency excluding parameter loading. */
+    SimTime podStartBase = 2 * units::kSecond;
+    /** Parameter-load bandwidth during pod start (bytes/sec). */
+    double modelLoadBandwidth = 1e9;
+    /** Multiplicative service-time jitter (lognormal sigma). */
+    double serviceJitterSigma = 0.05;
+    /** Metrics sampling interval for the result time series. */
+    SimTime sampleInterval = units::kSecond;
+    /** Enable the HPA (disable for fixed-replica steady-state runs). */
+    bool autoscale = true;
+    /**
+     * Start each deployment with the replica count the plan predicts
+     * for the traffic pattern's initial rate (otherwise start at 1).
+     */
+    bool warmStart = true;
+    /** Load-balancing policy across a deployment's ready replicas. */
+    cluster::LbPolicy lbPolicy = cluster::LbPolicy::PowerOfTwoChoices;
+    /** RNG seed. */
+    std::uint64_t seed = 2024;
+};
+
+/** Aggregate results of one simulation run. */
+struct SimResult
+{
+    /** Sampled time series (time in SimTime, value units noted). */
+    TimeSeries targetQps;
+    TimeSeries achievedQps;
+    TimeSeries memoryGiB;
+    TimeSeries p95LatencyMs;
+    TimeSeries readyReplicas;
+    TimeSeries nodesInUse;
+
+    std::uint64_t arrivals = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t slaViolations = 0;
+    double meanLatencyMs = 0.0;
+    double p95LatencyOverallMs = 0.0;
+    Bytes peakMemory = 0;
+    std::uint32_t peakNodes = 0;
+    /** Final replica count per deployment. */
+    std::map<std::string, std::uint32_t> finalReplicas;
+};
+
+class ClusterSimulation
+{
+  public:
+    ClusterSimulation(core::DeploymentPlan plan, hw::NodeSpec node,
+                      workload::TrafficPattern traffic,
+                      SimOptions options);
+
+    /** Fix a deployment's replica count (implies no HPA for it). */
+    void setFixedReplicas(const std::string &deployment,
+                          std::uint32_t replicas);
+
+    /**
+     * Failure injection: at simulated time t, crash `count` pods of a
+     * deployment. Crashed pods vanish immediately; their queued work
+     * is re-dispatched, in-flight work is lost (those queries never
+     * complete), and the HPA/reconciler replaces the capacity on its
+     * next tick. Call before run().
+     */
+    void injectPodFailure(const std::string &deployment, SimTime t,
+                          std::uint32_t count = 1);
+
+    /** Queries whose in-flight work died with a crashed pod. */
+    std::uint64_t lostQueries() const { return lostQueries_; }
+
+    /** Run for the given simulated duration and collect results. */
+    SimResult run(SimTime duration);
+
+    const core::DeploymentPlan &plan() const { return plan_; }
+
+  private:
+    struct DeploymentState
+    {
+        std::unique_ptr<cluster::Deployment> deployment;
+        std::unique_ptr<cluster::Hpa> hpa;
+        std::vector<std::unique_ptr<Pod>> pods;
+        std::deque<WorkItem> pending; //!< Waiting for a ready pod.
+        std::unique_ptr<cluster::LoadBalancer> balancer;
+        bool fixed = false;
+        /** Wire bytes of one request/response to this deployment. */
+        Bytes requestBytes = 0;
+        Bytes responseBytes = 0;
+    };
+
+    DeploymentState &state(const std::string &name);
+    std::uint32_t readyReplicas(const DeploymentState &ds) const;
+    Bytes liveMemory() const;
+    std::uint32_t liveNodes() const;
+    double jitter();
+
+    void addPod(DeploymentState &ds, bool instant);
+    void removePod(DeploymentState &ds);
+    void reapDrained(DeploymentState &ds);
+    void dispatch(DeploymentState &ds, WorkItem item);
+    void onArrival();
+    void scheduleNextArrival();
+    void hpaTick();
+    void sampleTick(SimTime end);
+    void startQuery();
+
+    core::DeploymentPlan plan_;
+    hw::NodeSpec node_;
+    workload::TrafficPattern traffic_;
+    SimOptions options_;
+
+    EventQueue queue_;
+    Rng rng_;
+    workload::PoissonArrivals arrivals_;
+    rpc::Channel channel_;
+    cluster::MetricsRegistry metrics_;
+    cluster::Scheduler scheduler_;
+
+    std::vector<std::string> deploymentOrder_;
+    std::map<std::string, DeploymentState> deployments_;
+    std::string frontendName_;
+    std::uint64_t nextPodId_ = 1;
+
+    // Run-scoped accumulators.
+    SimResult result_;
+    PercentileTracker latencyAll_;
+    SimTime endTime_ = 0;
+    std::uint64_t lostQueries_ = 0;
+
+    struct PlannedFailure
+    {
+        std::string deployment;
+        SimTime time;
+        std::uint32_t count;
+    };
+    std::vector<PlannedFailure> plannedFailures_;
+};
+
+} // namespace erec::sim

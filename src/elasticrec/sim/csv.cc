@@ -1,0 +1,33 @@
+#include "elasticrec/sim/csv.h"
+
+#include <algorithm>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::sim {
+
+void
+writeSimResultCsv(std::ostream &os, const SimResult &result)
+{
+    const auto &t = result.targetQps.points();
+    const std::size_t rows = std::min({
+        t.size(),
+        result.achievedQps.size(),
+        result.memoryGiB.size(),
+        result.p95LatencyMs.size(),
+        result.readyReplicas.size(),
+        result.nodesInUse.size(),
+    });
+    os << "time_s,target_qps,achieved_qps,memory_gib,p95_ms,replicas,"
+          "nodes\n";
+    for (std::size_t i = 0; i < rows; ++i) {
+        os << units::toSeconds(t[i].first) << ',' << t[i].second << ','
+           << result.achievedQps.points()[i].second << ','
+           << result.memoryGiB.points()[i].second << ','
+           << result.p95LatencyMs.points()[i].second << ','
+           << result.readyReplicas.points()[i].second << ','
+           << result.nodesInUse.points()[i].second << '\n';
+    }
+}
+
+} // namespace erec::sim

@@ -1,0 +1,22 @@
+#pragma once
+
+/**
+ * @file
+ * CSV export of simulation results, for plotting Figure 19-style
+ * longitudinal series with external tools.
+ */
+
+#include <ostream>
+
+#include "elasticrec/sim/cluster_sim.h"
+
+namespace erec::sim {
+
+/**
+ * Write the sampled time series of a run as CSV with the columns
+ * time_s, target_qps, achieved_qps, memory_gib, p95_ms, replicas,
+ * nodes. All series share the sampling clock, so rows align.
+ */
+void writeSimResultCsv(std::ostream &os, const SimResult &result);
+
+} // namespace erec::sim

@@ -1,0 +1,47 @@
+#include "elasticrec/sim/event_queue.h"
+
+#include "elasticrec/common/error.h"
+
+namespace erec::sim {
+
+void
+EventQueue::schedule(SimTime t, Action action)
+{
+    ERC_CHECK(t >= now_, "cannot schedule an event in the past (t="
+                             << t << ", now=" << now_ << ")");
+    ERC_CHECK(action != nullptr, "null event action");
+    events_.push(Event{t, nextSeq_++, std::move(action)});
+}
+
+void
+EventQueue::scheduleAfter(SimTime delay, Action action)
+{
+    ERC_CHECK(delay >= 0, "delay must be non-negative");
+    schedule(now_ + delay, std::move(action));
+}
+
+bool
+EventQueue::runOne()
+{
+    if (events_.empty())
+        return false;
+    // priority_queue::top returns const&; move out via const_cast is
+    // unsafe with heap invariants, so copy the action handle instead.
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.action();
+    return true;
+}
+
+void
+EventQueue::runUntil(SimTime end)
+{
+    while (!events_.empty() && events_.top().time <= end)
+        runOne();
+    if (now_ < end)
+        now_ = end;
+}
+
+} // namespace erec::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+/**
+ * @file
+ * Discrete-event simulation core: a time-ordered event queue with
+ * deterministic FIFO tie-breaking for events scheduled at the same
+ * tick.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "elasticrec/common/units.h"
+
+namespace erec::sim {
+
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Schedule an action at absolute time t (>= now). */
+    void schedule(SimTime t, Action action);
+
+    /** Schedule an action after a delay (>= 0). */
+    void scheduleAfter(SimTime delay, Action action);
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events_.size(); }
+
+    /** Execute the earliest event; returns false when empty. */
+    bool runOne();
+
+    /**
+     * Run all events with time <= end, then advance the clock to end.
+     */
+    void runUntil(SimTime end);
+
+    /** Total events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Event
+    {
+        SimTime time;
+        std::uint64_t seq;
+        Action action;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    SimTime now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+} // namespace erec::sim

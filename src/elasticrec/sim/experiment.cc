@@ -1,0 +1,118 @@
+#include "elasticrec/sim/experiment.h"
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/workload/query_generator.h"
+
+namespace erec::sim {
+
+workload::AccessDistributionPtr
+distributionFor(const model::DlrmConfig &config)
+{
+    return std::make_shared<workload::LocalityDistribution>(
+        config.rowsPerTable, config.localityP);
+}
+
+std::shared_ptr<const embedding::AccessCdf>
+cdfFor(const model::DlrmConfig &config, std::uint32_t granules)
+{
+    auto dist = distributionFor(config);
+    return std::make_shared<embedding::AccessCdf>(
+        embedding::AccessCdf::fromMassFunction(
+            dist->numRows(),
+            [&dist](std::uint64_t x) { return dist->massOfTopRows(x); },
+            granules));
+}
+
+StaticDeployment
+evaluateStatic(const core::DeploymentPlan &plan, const hw::NodeSpec &node,
+               double target_qps, double utilization)
+{
+    ERC_CHECK(utilization > 0.0 && utilization <= 1.0,
+              "utilization must be in (0, 1]");
+    const double sized_qps = target_qps / utilization;
+    StaticDeployment out;
+    out.policy = plan.policy;
+    out.targetQps = target_qps;
+    out.memory = plan.memoryForTarget(sized_qps);
+    out.totalReplicas = plan.totalReplicasForTarget(sized_qps);
+
+    std::vector<cluster::PodRequest> pods;
+    for (const auto &spec : plan.shards) {
+        const auto replicas =
+            core::DeploymentPlan::replicasForTarget(spec, sized_qps);
+        out.replicas[spec.name] = replicas;
+        cluster::ResourceRequest req = cluster::resourceRequestFor(spec);
+        for (std::uint32_t i = 0; i < replicas; ++i)
+            pods.push_back({spec.name, req});
+    }
+    out.nodes = cluster::Scheduler(node).pack(pods).numNodes();
+    return out;
+}
+
+SteadyStateResult
+runSteadyState(const core::DeploymentPlan &plan, const hw::NodeSpec &node,
+               double target_qps, SimTime duration, SimOptions options,
+               double utilization)
+{
+    SteadyStateResult result;
+    result.staticView =
+        evaluateStatic(plan, node, target_qps, utilization);
+
+    options.autoscale = false;
+    options.warmStart = true;
+    ClusterSimulation sim(plan, node,
+                          workload::TrafficPattern::constant(target_qps),
+                          options);
+    for (const auto &[name, replicas] : result.staticView.replicas)
+        sim.setFixedReplicas(name, replicas);
+    const SimResult r = sim.run(duration);
+
+    result.achievedQps =
+        static_cast<double>(r.completed) / units::toSeconds(duration);
+    result.meanLatencyMs = r.meanLatencyMs;
+    result.p95LatencyMs = r.p95LatencyOverallMs;
+    result.slaViolationFraction =
+        r.completed == 0
+            ? 0.0
+            : static_cast<double>(r.slaViolations) /
+                  static_cast<double>(r.completed);
+    return result;
+}
+
+UtilityReport
+measureUtility(const model::DlrmConfig &config,
+               const std::vector<std::uint64_t> &boundaries,
+               const std::vector<const core::ShardSpec *> &shard_specs,
+               double target_qps, std::uint32_t num_queries,
+               std::uint64_t seed)
+{
+    ERC_CHECK(!boundaries.empty(), "need at least one shard boundary");
+    ERC_CHECK(boundaries.back() == config.rowsPerTable,
+              "boundaries must cover the whole table");
+
+    auto dist = distributionFor(config);
+    core::UtilityTracker tracker(boundaries);
+
+    // Stream queries for one table: batchSize items x poolingFactor
+    // gathers, sampled in hotness-rank space.
+    Rng rng(seed);
+    const std::uint64_t gathers_per_query =
+        config.gathersPerQueryPerTable();
+    for (std::uint32_t q = 0; q < num_queries; ++q) {
+        for (std::uint64_t g = 0; g < gathers_per_query; ++g)
+            tracker.recordRank(dist->sampleRank(rng));
+    }
+
+    UtilityReport report;
+    report.overallUtility = tracker.overallUtility();
+    for (std::uint32_t s = 0; s < tracker.numShards(); ++s)
+        report.shardUtility.push_back(tracker.shardUtility(s));
+    for (const auto *spec : shard_specs) {
+        ERC_CHECK(spec != nullptr, "null shard spec");
+        report.shardReplicas.push_back(
+            core::DeploymentPlan::replicasForTarget(*spec, target_qps));
+    }
+    return report;
+}
+
+} // namespace erec::sim

@@ -1,0 +1,119 @@
+#pragma once
+
+/**
+ * @file
+ * Experiment harness helpers shared by the benchmark binaries: access
+ * CDF construction for a workload config, static deployment math
+ * (memory, replicas, node packing), steady-state simulation runs, and
+ * the Figure 14/17 memory-utility measurement.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "elasticrec/cluster/scheduler.h"
+#include "elasticrec/core/planner.h"
+#include "elasticrec/core/utility_tracker.h"
+#include "elasticrec/embedding/access_cdf.h"
+#include "elasticrec/sim/cluster_sim.h"
+#include "elasticrec/workload/access_distribution.h"
+
+namespace erec::sim {
+
+/**
+ * Build the access distribution the paper's locality model prescribes
+ * for a workload config (P over the top 10% of rows).
+ */
+workload::AccessDistributionPtr
+distributionFor(const model::DlrmConfig &config);
+
+/**
+ * Build the (analytic) access CDF for a workload config at the given
+ * granularity — the input to the partitioning planner.
+ */
+std::shared_ptr<const embedding::AccessCdf>
+cdfFor(const model::DlrmConfig &config, std::uint32_t granules = 1024);
+
+/** Static deployment summary at a fleet target QPS. */
+struct StaticDeployment
+{
+    std::string policy;
+    double targetQps = 0.0;
+    Bytes memory = 0;
+    std::uint32_t totalReplicas = 0;
+    std::uint32_t nodes = 0;
+    std::map<std::string, std::uint32_t> replicas;
+};
+
+/**
+ * Evaluate a plan statically: replica counts from the planner's
+ * per-shard QPS estimates, total memory, and bin-packed node count.
+ *
+ * @param utilization Peak per-replica utilization the deployment is
+ *        sized for; replicas are provisioned at target/utilization.
+ *        Mirrors the HPA's 65-70% scaling targets (Section IV-D) so
+ *        tail latency stays inside the SLA. Pass 1.0 for exact sizing.
+ */
+StaticDeployment evaluateStatic(const core::DeploymentPlan &plan,
+                                const hw::NodeSpec &node,
+                                double target_qps,
+                                double utilization = 0.85);
+
+/** Result of a steady-state (fixed-replica) simulation run. */
+struct SteadyStateResult
+{
+    StaticDeployment staticView;
+    double achievedQps = 0.0;
+    double meanLatencyMs = 0.0;
+    double p95LatencyMs = 0.0;
+    double slaViolationFraction = 0.0;
+};
+
+/**
+ * Run a fixed-replica steady-state simulation of a plan at the target
+ * QPS and report achieved throughput and latency alongside the static
+ * deployment view.
+ */
+SteadyStateResult runSteadyState(const core::DeploymentPlan &plan,
+                                 const hw::NodeSpec &node,
+                                 double target_qps,
+                                 SimTime duration = 120 * units::kSecond,
+                                 SimOptions options = {},
+                                 double utilization = 0.85);
+
+/** Per-shard utility measurement (Figures 14 and 17). */
+struct UtilityReport
+{
+    /** Utility (touched fraction) per shard, hottest first. */
+    std::vector<double> shardUtility;
+    /** Replicas the plan deploys per shard at the target QPS. */
+    std::vector<std::uint32_t> shardReplicas;
+    /** Whole-table utility. */
+    double overallUtility = 0.0;
+};
+
+/**
+ * Measure the memory utility of one table's shards by streaming
+ * `num_queries` generated queries (the paper measures the first 1,000)
+ * through the access distribution and recording which rows are
+ * touched.
+ *
+ * @param config Workload config (row count, pooling factor, locality).
+ * @param boundaries Table partitioning points (pass {rowsPerTable} for
+ *        the model-wise monolithic layout).
+ * @param shard_specs Shard specs of this table (for replica counts);
+ *        may be empty when only utility is needed.
+ * @param target_qps Fleet target used for the replica counts.
+ * @param num_queries Queries to stream.
+ */
+UtilityReport measureUtility(
+    const model::DlrmConfig &config,
+    const std::vector<std::uint64_t> &boundaries,
+    const std::vector<const core::ShardSpec *> &shard_specs,
+    double target_qps, std::uint32_t num_queries = 1000,
+    std::uint64_t seed = 99);
+
+} // namespace erec::sim

@@ -1,0 +1,109 @@
+#include "elasticrec/sim/pod.h"
+
+#include <algorithm>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::sim {
+
+Pod::Pod(std::uint64_t id, std::vector<SimTime> stage_latencies)
+    : id_(id)
+{
+    ERC_CHECK(!stage_latencies.empty(), "pod needs at least one stage");
+    for (auto t : stage_latencies) {
+        ERC_CHECK(t > 0, "stage latency must be positive");
+        stages_.push_back(Stage{t, false, {}});
+    }
+}
+
+void
+Pod::submit(EventQueue &queue, WorkItem item)
+{
+    ERC_CHECK(state_ == PodState::Ready,
+              "cannot submit work to a pod that is not ready");
+    ERC_CHECK(item.onDone != nullptr, "work item needs a completion");
+    ++inFlight_;
+    stages_[0].queue.push_back(std::move(item));
+    tryStart(queue, 0);
+}
+
+void
+Pod::tryStart(EventQueue &queue, std::size_t stage_idx)
+{
+    Stage &stage = stages_[stage_idx];
+    if (stage.busy || stage.queue.empty())
+        return;
+    stage.busy = true;
+    WorkItem item = std::move(stage.queue.front());
+    stage.queue.pop_front();
+
+    const auto service = std::max<SimTime>(
+        1, static_cast<SimTime>(
+               static_cast<double>(stage.nominal) * item.jitter + 0.5));
+    queue.scheduleAfter(
+        service, [this, &queue, stage_idx, item = std::move(item)]() mutable {
+            stages_[stage_idx].busy = false;
+            if (state_ == PodState::Crashed) {
+                // The container died while this request was in
+                // service: the work is lost.
+                --inFlight_;
+                ++lost_;
+                return;
+            }
+            if (stage_idx + 1 < stages_.size()) {
+                stages_[stage_idx + 1].queue.push_back(std::move(item));
+                tryStart(queue, stage_idx + 1);
+                tryStart(queue, stage_idx);
+            } else {
+                --inFlight_;
+                ++served_;
+                tryStart(queue, stage_idx);
+                // The completion callback runs last: it may terminate
+                // and destroy this pod once it observes drained().
+                item.onDone(queue.now());
+            }
+        });
+}
+
+std::vector<WorkItem>
+Pod::crash()
+{
+    auto requeue = stealQueued();
+    state_ = PodState::Crashed;
+    // Work parked between pipeline stages dies with the container.
+    for (std::size_t i = 1; i < stages_.size(); ++i) {
+        auto &q = stages_[i].queue;
+        lost_ += q.size();
+        inFlight_ -= static_cast<std::uint32_t>(q.size());
+        q.clear();
+    }
+    return requeue;
+}
+
+bool
+Pod::removable() const
+{
+    if (drained())
+        return true;
+    if (state_ != PodState::Crashed)
+        return false;
+    for (const auto &stage : stages_)
+        if (stage.busy)
+            return false;
+    return inFlight_ == 0;
+}
+
+std::vector<WorkItem>
+Pod::stealQueued()
+{
+    std::vector<WorkItem> stolen;
+    auto &q = stages_[0].queue;
+    stolen.reserve(q.size());
+    for (auto &item : q)
+        stolen.push_back(std::move(item));
+    inFlight_ -= static_cast<std::uint32_t>(q.size());
+    q.clear();
+    return stolen;
+}
+
+} // namespace erec::sim

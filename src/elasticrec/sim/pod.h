@@ -1,0 +1,114 @@
+#pragma once
+
+/**
+ * @file
+ * Simulated pod: one replica of a shard container.
+ *
+ * A pod is a chain of service stages (dense and sparse shards have one
+ * stage; the monolithic baseline has a dense stage and a sparse stage
+ * that pipeline across queries). Each stage serves one request at a
+ * time from a FIFO queue, so a pod's sustained throughput is set by its
+ * slowest stage while its processing latency is the sum of stage
+ * latencies — exactly the premise of the paper's Figure 4.
+ *
+ * Lifecycle: Starting (container scheduled, model parameters loading)
+ * -> Ready (serving) -> Terminating (draining) -> removed. Memory is
+ * held from Starting until removal, which is what makes the baseline's
+ * slow, heavyweight scale-out visible in Figure 19.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "elasticrec/sim/event_queue.h"
+
+namespace erec::sim {
+
+enum class PodState
+{
+    Starting,
+    Ready,
+    Terminating,
+    Crashed,
+};
+
+/** Work submitted to a pod. */
+struct WorkItem
+{
+    /** Multiplicative service-time jitter (1.0 = nominal). */
+    double jitter = 1.0;
+    /** Invoked when the last stage completes. */
+    std::function<void(SimTime completion)> onDone;
+};
+
+class Pod
+{
+  public:
+    /**
+     * @param id Unique pod id.
+     * @param stage_latencies Nominal per-stage service times.
+     */
+    Pod(std::uint64_t id, std::vector<SimTime> stage_latencies);
+
+    std::uint64_t id() const { return id_; }
+    PodState state() const { return state_; }
+
+    void markReady() { state_ = PodState::Ready; }
+    void markTerminating() { state_ = PodState::Terminating; }
+
+    /**
+     * Crash the pod (failure injection). Work queued at the first
+     * stage is returned for re-dispatch; work deeper in the pipeline
+     * or in service is lost (its completion callback never fires).
+     */
+    std::vector<WorkItem> crash();
+
+    /** Items lost to a crash so far. */
+    std::uint64_t lostItems() const { return lost_; }
+
+    /** Requests queued or in service. */
+    std::uint32_t inFlight() const { return inFlight_; }
+
+    /** True once a terminating pod has fully drained. */
+    bool drained() const
+    {
+        return state_ == PodState::Terminating && inFlight_ == 0;
+    }
+
+    /** True when the pod can be destroyed (drained or crash-settled:
+     *  every outstanding service event has fired). */
+    bool removable() const;
+
+    /** Submit one request; the pod must be Ready. */
+    void submit(EventQueue &queue, WorkItem item);
+
+    /**
+     * Remove not-yet-started work from the first stage (used when the
+     * pod terminates); returns the removed items.
+     */
+    std::vector<WorkItem> stealQueued();
+
+    /** Total requests fully served by this pod. */
+    std::uint64_t served() const { return served_; }
+
+  private:
+    struct Stage
+    {
+        SimTime nominal;
+        bool busy = false;
+        std::deque<WorkItem> queue;
+    };
+
+    void tryStart(EventQueue &queue, std::size_t stage_idx);
+
+    std::uint64_t id_;
+    PodState state_ = PodState::Starting;
+    std::vector<Stage> stages_;
+    std::uint32_t inFlight_ = 0;
+    std::uint64_t served_ = 0;
+    std::uint64_t lost_ = 0;
+};
+
+} // namespace erec::sim

@@ -1,0 +1,172 @@
+#pragma once
+
+/**
+ * @file
+ * Embedding-table access distributions.
+ *
+ * All distributions are defined over *hotness rank* space: rank 0 is the
+ * hottest row, rank (numRows-1) the coldest. Real tables store rows in an
+ * arbitrary order; the embedding module composes these distributions with
+ * a permutation to obtain original-ID access streams (Figure 8(a) vs (b)
+ * in the paper).
+ *
+ * Every distribution exposes its exact cumulative mass function
+ * massOfTopRows(x): the fraction of all accesses that fall on the x
+ * hottest rows. This is the CDF used by the paper's deployment-cost model
+ * (Algorithm 1, line 11).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "elasticrec/common/rng.h"
+
+namespace erec::workload {
+
+/** Interface for a hotness-ranked access distribution. */
+class AccessDistribution
+{
+  public:
+    virtual ~AccessDistribution() = default;
+
+    /** Number of rows (embedding vectors) in the table. */
+    virtual std::uint64_t numRows() const = 0;
+
+    /** Sample a hotness rank in [0, numRows). */
+    virtual std::uint64_t sampleRank(Rng &rng) const = 0;
+
+    /**
+     * Fraction of total accesses covered by the x hottest rows
+     * (x in [0, numRows]). Monotone non-decreasing with
+     * massOfTopRows(0) == 0 and massOfTopRows(numRows) == 1.
+     */
+    virtual double massOfTopRows(std::uint64_t x) const = 0;
+
+    /**
+     * Locality metric P from the paper: the fraction of accesses covered
+     * by the top 10% hottest rows.
+     */
+    double localityP() const { return massOfTopRows(numRows() / 10); }
+};
+
+/**
+ * The paper's locality model. A fraction `hotRowFraction` of rows (10% by
+ * default) receives fraction P of all accesses. Within the hot and cold
+ * regions mass decays as a power law, giving the concave sorted-frequency
+ * curves of Figure 6.
+ *
+ * The CDF over the normalized rank u in [0, 1] is
+ *   F(u) = P * (u/h)^a                      for u <= h
+ *   F(u) = P + (1-P) * ((u-h)/(1-h))^b      for u >  h
+ * with h = hotRowFraction, a = hotShape (< 1, strong skew inside the hot
+ * set) and b = coldShape (~1, near uniform over cold rows). Sampling is
+ * exact inverse-CDF, so the analytic CDF and the empirical stream agree.
+ */
+class LocalityDistribution : public AccessDistribution
+{
+  public:
+    LocalityDistribution(std::uint64_t num_rows, double p,
+                         double hot_row_fraction = 0.10,
+                         double hot_shape = 0.35, double cold_shape = 1.0);
+
+    std::uint64_t numRows() const override { return numRows_; }
+    std::uint64_t sampleRank(Rng &rng) const override;
+    double massOfTopRows(std::uint64_t x) const override;
+
+    double p() const { return p_; }
+    double hotRowFraction() const { return hotFrac_; }
+
+  private:
+    double cdfAtFraction(double u) const;
+
+    std::uint64_t numRows_;
+    double p_;
+    double hotFrac_;
+    double hotShape_;
+    double coldShape_;
+};
+
+/**
+ * Classic Zipf distribution over ranks: P(rank k) ~ 1/(k+1)^s.
+ *
+ * Sampling uses Hormann's rejection-inversion so it is O(1) even for
+ * tables with tens of millions of rows. The cumulative mass function is
+ * computed from the generalized harmonic number approximation.
+ */
+class ZipfDistribution : public AccessDistribution
+{
+  public:
+    ZipfDistribution(std::uint64_t num_rows, double skew);
+
+    std::uint64_t numRows() const override { return numRows_; }
+    std::uint64_t sampleRank(Rng &rng) const override;
+    double massOfTopRows(std::uint64_t x) const override;
+
+    double skew() const { return s_; }
+
+  private:
+    double harmonic(double n) const;
+    double hIntegral(double x) const;
+    double hIntegralInverse(double x) const;
+    double h(double x) const;
+
+    std::uint64_t numRows_;
+    double s_;
+    double totalMass_;
+    // Rejection-inversion precomputed constants.
+    double hImaxPlus1_;
+    double hIx1_;
+    double sBound_;
+};
+
+/**
+ * Piecewise CDF distribution described by anchor points
+ * (rowFraction, massFraction). Used to mimic the sorted access-frequency
+ * shape of real datasets (Amazon Books, Criteo, MovieLens) without the
+ * raw data; see workload/datasets.h.
+ *
+ * The CDF is linearly interpolated between anchors and sampled by exact
+ * inversion.
+ */
+class PiecewiseCdfDistribution : public AccessDistribution
+{
+  public:
+    struct Anchor
+    {
+        double rowFraction;  //!< u in [0, 1]
+        double massFraction; //!< F(u) in [0, 1]
+    };
+
+    PiecewiseCdfDistribution(std::uint64_t num_rows,
+                             std::vector<Anchor> anchors);
+
+    std::uint64_t numRows() const override { return numRows_; }
+    std::uint64_t sampleRank(Rng &rng) const override;
+    double massOfTopRows(std::uint64_t x) const override;
+
+    const std::vector<Anchor> &anchors() const { return anchors_; }
+
+  private:
+    std::uint64_t numRows_;
+    std::vector<Anchor> anchors_;
+};
+
+/** Uniform access over all rows (the zero-locality baseline). */
+class UniformDistribution : public AccessDistribution
+{
+  public:
+    explicit UniformDistribution(std::uint64_t num_rows);
+
+    std::uint64_t numRows() const override { return numRows_; }
+    std::uint64_t sampleRank(Rng &rng) const override;
+    double massOfTopRows(std::uint64_t x) const override;
+
+  private:
+    std::uint64_t numRows_;
+};
+
+/** Owning handle used throughout configuration structs. */
+using AccessDistributionPtr = std::shared_ptr<const AccessDistribution>;
+
+} // namespace erec::workload

@@ -1,0 +1,103 @@
+#include "elasticrec/workload/datasets.h"
+
+#include <cmath>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::workload {
+
+namespace {
+
+/**
+ * Build anchors for a power-law-shaped CDF hitting (0.1, p10) and having
+ * curvature controlled by a head exponent. Anchors are geometrically
+ * spaced in rank fraction so the log-scale head of the curve is well
+ * resolved.
+ */
+std::vector<PiecewiseCdfDistribution::Anchor>
+powerLawAnchors(double p10, double head_shape, double tail_shape)
+{
+    std::vector<PiecewiseCdfDistribution::Anchor> anchors;
+    anchors.push_back({0.0, 0.0});
+    // Head: u in (0, 0.1], F(u) = p10 * (u/0.1)^head_shape.
+    for (double u = 1e-6; u < 0.1; u *= 2.5) {
+        anchors.push_back({u, p10 * std::pow(u / 0.1, head_shape)});
+    }
+    anchors.push_back({0.1, p10});
+    // Tail: u in (0.1, 1], F = p10 + (1-p10)*((u-0.1)/0.9)^tail_shape.
+    for (double u : {0.2, 0.35, 0.5, 0.7, 0.85}) {
+        anchors.push_back(
+            {u, p10 + (1.0 - p10) *
+                          std::pow((u - 0.1) / 0.9, tail_shape)});
+    }
+    anchors.push_back({1.0, 1.0});
+    return anchors;
+}
+
+} // namespace
+
+DatasetShape
+amazonBooks()
+{
+    const std::uint64_t rows = 2'930'000;
+    const double p = 0.85;
+    auto dist = std::make_shared<PiecewiseCdfDistribution>(
+        rows, powerLawAnchors(p, 0.30, 0.95));
+    return {"amazon-books", rows, p, dist};
+}
+
+DatasetShape
+criteo()
+{
+    const std::uint64_t rows = 10'131'227;
+    const double p = 0.90;
+    auto dist = std::make_shared<PiecewiseCdfDistribution>(
+        rows, powerLawAnchors(p, 0.25, 0.90));
+    return {"criteo", rows, p, dist};
+}
+
+DatasetShape
+movieLens()
+{
+    const std::uint64_t rows = 62'423;
+    const double p = 0.94;
+    auto dist = std::make_shared<PiecewiseCdfDistribution>(
+        rows, powerLawAnchors(p, 0.35, 1.0));
+    return {"movielens", rows, p, dist};
+}
+
+std::vector<DatasetShape>
+allDatasetShapes()
+{
+    return {amazonBooks(), criteo(), movieLens()};
+}
+
+std::vector<std::pair<std::uint64_t, double>>
+sortedFrequencyCurve(const AccessDistribution &dist,
+                     std::uint64_t total_accesses, int points)
+{
+    ERC_CHECK(points >= 2, "need at least two curve points");
+    std::vector<std::pair<std::uint64_t, double>> curve;
+    curve.reserve(static_cast<std::size_t>(points));
+    const auto n = dist.numRows();
+    const double log_n = std::log(static_cast<double>(n));
+    std::uint64_t prev_rank = static_cast<std::uint64_t>(-1);
+    for (int i = 0; i < points; ++i) {
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        auto rank = static_cast<std::uint64_t>(
+            std::exp(frac * log_n)) - 1;
+        rank = std::min(rank, n - 1);
+        if (rank == prev_rank)
+            continue;
+        prev_rank = rank;
+        // Expected per-row count at this rank: the local CDF slope.
+        const double mass_here = dist.massOfTopRows(rank + 1) -
+                                 dist.massOfTopRows(rank);
+        curve.emplace_back(
+            rank, mass_here * static_cast<double>(total_accesses));
+    }
+    return curve;
+}
+
+} // namespace erec::workload

@@ -1,0 +1,83 @@
+#include "elasticrec/workload/query_generator.h"
+
+#include "elasticrec/common/error.h"
+
+namespace erec::workload {
+
+std::size_t
+Query::totalGathers() const
+{
+    std::size_t n = 0;
+    for (const auto &l : lookups)
+        n += l.numGathers();
+    return n;
+}
+
+QueryGenerator::QueryGenerator(QueryShape shape,
+                               std::vector<AccessDistributionPtr> dists,
+                               std::uint64_t seed)
+    : shape_(shape), dists_(std::move(dists)),
+      idMaps_(shape.numTables), rng_(seed)
+{
+    ERC_CHECK(shape_.batchSize > 0, "batch size must be positive");
+    ERC_CHECK(shape_.numTables > 0, "need at least one table");
+    ERC_CHECK(dists_.size() == shape_.numTables,
+              "need one distribution per table (got "
+                  << dists_.size() << ", want " << shape_.numTables << ")");
+    for (const auto &d : dists_)
+        ERC_CHECK(d != nullptr, "null access distribution");
+}
+
+QueryGenerator::QueryGenerator(QueryShape shape, AccessDistributionPtr dist,
+                               std::uint64_t seed)
+    : QueryGenerator(shape,
+                     std::vector<AccessDistributionPtr>(shape.numTables,
+                                                        std::move(dist)),
+                     seed)
+{
+}
+
+void
+QueryGenerator::setIdMap(std::uint32_t table, std::vector<std::uint32_t> map)
+{
+    ERC_CHECK(table < shape_.numTables, "table index out of range");
+    ERC_CHECK(map.size() == dists_[table]->numRows(),
+              "ID map must cover every row of the table");
+    idMaps_[table] = std::move(map);
+}
+
+Query
+QueryGenerator::next(SimTime arrival)
+{
+    Query q;
+    q.id = nextId_++;
+    q.arrival = arrival;
+    q.batchSize = shape_.batchSize;
+    q.lookups.resize(shape_.numTables);
+
+    for (std::uint32_t t = 0; t < shape_.numTables; ++t) {
+        auto &lookup = q.lookups[t];
+        const auto &dist = *dists_[t];
+        const auto &map = idMaps_[t];
+        const std::size_t total =
+            static_cast<std::size_t>(shape_.batchSize) *
+            shape_.gathersPerItem;
+        lookup.indices.reserve(total);
+        lookup.offsets.reserve(shape_.batchSize);
+        for (std::uint32_t b = 0; b < shape_.batchSize; ++b) {
+            lookup.offsets.push_back(
+                static_cast<std::uint32_t>(lookup.indices.size()));
+            for (std::uint32_t g = 0; g < shape_.gathersPerItem; ++g) {
+                const auto rank = dist.sampleRank(rng_);
+                const auto id =
+                    map.empty()
+                        ? static_cast<std::uint32_t>(rank)
+                        : map[static_cast<std::size_t>(rank)];
+                lookup.indices.push_back(id);
+            }
+        }
+    }
+    return q;
+}
+
+} // namespace erec::workload

@@ -1,0 +1,105 @@
+#pragma once
+
+/**
+ * @file
+ * Inference query modeling.
+ *
+ * A query carries a batch of items to rank for one user (batch size 32
+ * following the paper's query model, Section V-C). For every embedding
+ * table it carries an index array and an offset array in exactly the
+ * layout of the paper's Figure 11: offsets[i] is the position within the
+ * index array where batch item i's lookups begin.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "elasticrec/common/rng.h"
+#include "elasticrec/common/units.h"
+#include "elasticrec/workload/access_distribution.h"
+
+namespace erec::workload {
+
+/** Index/offset arrays addressing one embedding table (Figure 11). */
+struct SparseLookup
+{
+    /** Embedding row IDs to gather, grouped by batch item. */
+    std::vector<std::uint32_t> indices;
+    /** Start position of each batch item's IDs within `indices`. */
+    std::vector<std::uint32_t> offsets;
+
+    /** Number of batch items encoded. */
+    std::size_t batchSize() const { return offsets.size(); }
+    /** Total number of gathers. */
+    std::size_t numGathers() const { return indices.size(); }
+};
+
+/** One inference request. */
+struct Query
+{
+    std::uint64_t id = 0;
+    SimTime arrival = 0;
+    std::uint32_t batchSize = 0;
+    /** One lookup set per embedding table. */
+    std::vector<SparseLookup> lookups;
+
+    /** Total gathers across all tables. */
+    std::size_t totalGathers() const;
+};
+
+/** Static query-shape parameters. */
+struct QueryShape
+{
+    std::uint32_t batchSize = 32;
+    std::uint32_t numTables = 10;
+    /** Embedding gathers per batch item per table (pooling factor). */
+    std::uint32_t gathersPerItem = 128;
+};
+
+/**
+ * Generates queries whose table lookups follow per-table access
+ * distributions.
+ *
+ * Distributions produce hotness *ranks*; an optional per-table ID map
+ * (e.g. the inverse of the hotness sort permutation) converts ranks to
+ * original table IDs, modeling unsorted production tables
+ * (Figure 8(a)). With no ID map, emitted IDs are already in sorted-
+ * hotness space (Figure 8(b)).
+ */
+class QueryGenerator
+{
+  public:
+    /**
+     * @param shape Query shape (batch size, tables, pooling factor).
+     * @param dists One access distribution per table (size must equal
+     *              shape.numTables); all tables may share one pointer.
+     * @param seed  Seed for this generator's private RNG stream.
+     */
+    QueryGenerator(QueryShape shape,
+                   std::vector<AccessDistributionPtr> dists,
+                   std::uint64_t seed = 1);
+
+    /** Convenience: all tables share one distribution. */
+    QueryGenerator(QueryShape shape, AccessDistributionPtr dist,
+                   std::uint64_t seed = 1);
+
+    /**
+     * Install a rank -> original-ID map for a table. The map must be a
+     * permutation of [0, numRows).
+     */
+    void setIdMap(std::uint32_t table, std::vector<std::uint32_t> map);
+
+    /** Generate the next query, stamped with the given arrival time. */
+    Query next(SimTime arrival = 0);
+
+    const QueryShape &shape() const { return shape_; }
+
+  private:
+    QueryShape shape_;
+    std::vector<AccessDistributionPtr> dists_;
+    std::vector<std::vector<std::uint32_t>> idMaps_;
+    Rng rng_;
+    std::uint64_t nextId_ = 0;
+};
+
+} // namespace erec::workload

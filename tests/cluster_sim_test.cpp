@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Integration tests for the cluster simulation: steady-state tracking,
+ * autoscaling reaction to traffic changes, SLA behaviour, and the
+ * relative ElasticRec-vs-baseline properties the paper's Figure 19
+ * demonstrates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/core/planner.h"
+#include "elasticrec/hw/platform.h"
+#include "elasticrec/sim/cluster_sim.h"
+#include "elasticrec/sim/experiment.h"
+
+namespace erec::sim {
+namespace {
+
+core::DeploymentPlan
+erPlan(const model::DlrmConfig &config, const hw::NodeSpec &node)
+{
+    core::Planner planner = core::Planner::forPlatform(config, node);
+    return planner.planElasticRec({cdfFor(config, 256)});
+}
+
+core::DeploymentPlan
+mwPlan(const model::DlrmConfig &config, const hw::NodeSpec &node)
+{
+    core::Planner planner = core::Planner::forPlatform(config, node);
+    return planner.planModelWise();
+}
+
+SimOptions
+fastOptions()
+{
+    SimOptions opt;
+    opt.seed = 7;
+    return opt;
+}
+
+TEST(ClusterSimTest, SteadyStateTracksTarget)
+{
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    const auto result = runSteadyState(erPlan(config, node), node, 50.0,
+                                       60 * units::kSecond,
+                                       fastOptions());
+    EXPECT_NEAR(result.achievedQps, 50.0, 5.0);
+    EXPECT_LT(result.p95LatencyMs, 400.0);
+    EXPECT_LT(result.slaViolationFraction, 0.05);
+}
+
+TEST(ClusterSimTest, ModelWiseSteadyStateAlsoTracks)
+{
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    const auto result = runSteadyState(mwPlan(config, node), node, 50.0,
+                                       60 * units::kSecond,
+                                       fastOptions());
+    EXPECT_NEAR(result.achievedQps, 50.0, 5.0);
+}
+
+TEST(ClusterSimTest, ElasticRecUsesLessMemoryUnderSim)
+{
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    const auto er = runSteadyState(erPlan(config, node), node, 100.0,
+                                   30 * units::kSecond, fastOptions());
+    const auto mw = runSteadyState(mwPlan(config, node), node, 100.0,
+                                   30 * units::kSecond, fastOptions());
+    EXPECT_LT(er.staticView.memory, mw.staticView.memory);
+    EXPECT_LE(er.staticView.nodes, mw.staticView.nodes);
+}
+
+TEST(ClusterSimTest, AutoscaleFollowsTrafficStep)
+{
+    // Step from 20 to 60 QPS: the autoscaler must converge to the new
+    // target within a few sync periods.
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    workload::TrafficPattern traffic(
+        {{0, 20.0}, {2 * units::kMinute, 60.0}});
+    SimOptions opt = fastOptions();
+    ClusterSimulation sim(erPlan(config, node), node, traffic, opt);
+    const auto r = sim.run(8 * units::kMinute);
+
+    // Average achieved rate over the last two minutes ~ 60 QPS.
+    double tail_sum = 0;
+    int tail_n = 0;
+    for (const auto &[t, v] : r.achievedQps.points()) {
+        if (t >= 6 * units::kMinute) {
+            tail_sum += v;
+            ++tail_n;
+        }
+    }
+    ASSERT_GT(tail_n, 0);
+    EXPECT_NEAR(tail_sum / tail_n, 60.0, 6.0);
+    // Replica count must have grown.
+    EXPECT_GT(r.readyReplicas.points().back().second,
+              r.readyReplicas.points().front().second);
+}
+
+TEST(ClusterSimTest, ScaleInAfterTrafficDrop)
+{
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    workload::TrafficPattern traffic(
+        {{0, 80.0}, {2 * units::kMinute, 10.0}});
+    SimOptions opt = fastOptions();
+    ClusterSimulation sim(erPlan(config, node), node, traffic, opt);
+    const auto r = sim.run(12 * units::kMinute);
+    const double start_mem = r.memoryGiB.points().front().second;
+    const double end_mem = r.memoryGiB.points().back().second;
+    EXPECT_LT(end_mem, start_mem);
+}
+
+TEST(ClusterSimTest, Figure19RelativeBehaviour)
+{
+    // Shortened Figure 19: ElasticRec must beat model-wise on peak
+    // memory and SLA violations under the same dynamic traffic.
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    const auto traffic = workload::TrafficPattern::fig19(
+        10.0, 60.0, 3, 2 * units::kMinute, 8 * units::kMinute,
+        10 * units::kMinute);
+    SimOptions opt = fastOptions();
+
+    ClusterSimulation er(erPlan(config, node), node, traffic, opt);
+    const auto er_result = er.run(12 * units::kMinute);
+    ClusterSimulation mw(mwPlan(config, node), node, traffic, opt);
+    const auto mw_result = mw.run(12 * units::kMinute);
+
+    EXPECT_LT(er_result.peakMemory, mw_result.peakMemory);
+    EXPECT_LE(er_result.slaViolations, mw_result.slaViolations);
+    EXPECT_EQ(er_result.completed, mw_result.completed);
+}
+
+TEST(ClusterSimTest, DeterministicForSeed)
+{
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    const auto traffic = workload::TrafficPattern::constant(30.0);
+    SimOptions opt = fastOptions();
+    ClusterSimulation a(erPlan(config, node), node, traffic, opt);
+    ClusterSimulation b(erPlan(config, node), node, traffic, opt);
+    const auto ra = a.run(2 * units::kMinute);
+    const auto rb = b.run(2 * units::kMinute);
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_DOUBLE_EQ(ra.meanLatencyMs, rb.meanLatencyMs);
+    EXPECT_EQ(ra.peakMemory, rb.peakMemory);
+}
+
+TEST(ClusterSimTest, FixedReplicasAreRespected)
+{
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    auto plan = mwPlan(config, node);
+    SimOptions opt = fastOptions();
+    opt.autoscale = false;
+    ClusterSimulation sim(plan, node,
+                          workload::TrafficPattern::constant(10.0),
+                          opt);
+    sim.setFixedReplicas(plan.shards[0].name, 3);
+    const auto r = sim.run(units::kMinute);
+    EXPECT_EQ(r.finalReplicas.at(plan.shards[0].name), 3u);
+}
+
+TEST(ClusterSimTest, ColdStartDelaysServingAfterScaleUp)
+{
+    // With warmStart off, the first pod must come up before any query
+    // completes; completions then proceed.
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    SimOptions opt = fastOptions();
+    opt.warmStart = true;
+    ClusterSimulation sim(mwPlan(config, node), node,
+                          workload::TrafficPattern::constant(20.0),
+                          opt);
+    const auto r = sim.run(units::kMinute);
+    EXPECT_GT(r.completed, 0u);
+}
+
+TEST(ClusterSimTest, RecoversFromPodFailures)
+{
+    // Crash two dense pods mid-run: queued work is re-dispatched,
+    // in-flight work is lost, and the reconciler restores capacity so
+    // throughput recovers by the end of the run.
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    SimOptions opt = fastOptions();
+    ClusterSimulation sim(erPlan(config, node), node,
+                          workload::TrafficPattern::constant(60.0),
+                          opt);
+    sim.injectPodFailure("dense", 2 * units::kMinute, 2);
+    const auto r = sim.run(8 * units::kMinute);
+
+    EXPECT_GT(sim.lostQueries(), 0u);
+    EXPECT_GT(r.completed, 0u);
+    // Tail throughput back at target after recovery.
+    double tail_sum = 0;
+    int tail_n = 0;
+    for (const auto &[t, v] : r.achievedQps.points()) {
+        if (t >= 6 * units::kMinute) {
+            tail_sum += v;
+            ++tail_n;
+        }
+    }
+    ASSERT_GT(tail_n, 0);
+    EXPECT_NEAR(tail_sum / tail_n, 60.0, 6.0);
+}
+
+TEST(ClusterSimTest, FailureLosesBoundedWork)
+{
+    // Only work resident in the crashed pod can be lost.
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    SimOptions opt = fastOptions();
+    opt.autoscale = false;
+    auto plan = mwPlan(config, node);
+    ClusterSimulation sim(plan, node,
+                          workload::TrafficPattern::constant(40.0),
+                          opt);
+    sim.setFixedReplicas(plan.shards[0].name, 4);
+    sim.injectPodFailure(plan.shards[0].name, units::kMinute, 1);
+    const auto r = sim.run(4 * units::kMinute);
+    EXPECT_GT(r.completed, 0u);
+    // A single pod crash loses at most its in-service pipeline depth
+    // (two stages) at the instant of the crash... plus nothing else.
+    EXPECT_LE(sim.lostQueries(), 4u);
+}
+
+TEST(ClusterSimTest, QueryConservation)
+{
+    // Every arrival is either completed, lost to a crash, or still in
+    // flight when the clock stops. With ample capacity and quiescent
+    // tail time, arrivals == completions exactly.
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    SimOptions opt = fastOptions();
+    // Stop traffic early so in-flight work drains before the end.
+    workload::TrafficPattern traffic(
+        {{0, 50.0}, {3 * units::kMinute, 0.0}});
+    ClusterSimulation sim(erPlan(config, node), node, traffic, opt);
+    const auto r = sim.run(5 * units::kMinute);
+    EXPECT_GT(r.arrivals, 0u);
+    EXPECT_EQ(r.arrivals, r.completed + sim.lostQueries());
+}
+
+TEST(ClusterSimTest, QueryConservationWithFailures)
+{
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    SimOptions opt = fastOptions();
+    workload::TrafficPattern traffic(
+        {{0, 50.0}, {3 * units::kMinute, 0.0}});
+    ClusterSimulation sim(erPlan(config, node), node, traffic, opt);
+    sim.injectPodFailure("dense", units::kMinute, 1);
+    sim.injectPodFailure("t0-s0", 90 * units::kSecond, 1);
+    const auto r = sim.run(6 * units::kMinute);
+    // Crashed sparse legs orphan their whole query: completed + lost
+    // legs can undercount queries, so conservation holds as an
+    // inequality with a small orphan remainder.
+    EXPECT_LE(r.completed, r.arrivals);
+    EXPECT_GE(r.completed + sim.lostQueries(), r.arrivals - 50);
+}
+
+TEST(ClusterSimTest, FailureOfUnknownDeploymentThrows)
+{
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    ClusterSimulation sim(mwPlan(config, node), node,
+                          workload::TrafficPattern::constant(10.0),
+                          fastOptions());
+    EXPECT_THROW(sim.injectPodFailure("nope", units::kSecond),
+                 InternalError);
+}
+
+} // namespace
+} // namespace erec::sim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the synthesized dataset shapes of Figure 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "elasticrec/workload/datasets.h"
+
+namespace erec::workload {
+namespace {
+
+TEST(DatasetsTest, LocalityMatchesPublishedShape)
+{
+    // MovieLens: top 10% of items cover 94% of accesses (Section V-C).
+    // Tolerance covers the integer rounding of "top 10% of rows".
+    EXPECT_NEAR(movieLens().distribution->localityP(), 0.94, 1e-3);
+    EXPECT_NEAR(amazonBooks().distribution->localityP(), 0.85, 1e-3);
+    EXPECT_NEAR(criteo().distribution->localityP(), 0.90, 1e-3);
+}
+
+TEST(DatasetsTest, DescriptorsConsistent)
+{
+    for (const auto &shape : allDatasetShapes()) {
+        EXPECT_EQ(shape.distribution->numRows(), shape.numRows);
+        EXPECT_NEAR(shape.distribution->localityP(), shape.localityP,
+                    1e-3)
+            << shape.name;
+    }
+}
+
+TEST(DatasetsTest, ThreeShapesInFigureOrder)
+{
+    const auto shapes = allDatasetShapes();
+    ASSERT_EQ(shapes.size(), 3u);
+    EXPECT_EQ(shapes[0].name, "amazon-books");
+    EXPECT_EQ(shapes[1].name, "criteo");
+    EXPECT_EQ(shapes[2].name, "movielens");
+}
+
+TEST(DatasetsTest, SortedFrequencyCurveDecreases)
+{
+    const auto shape = movieLens();
+    const auto curve =
+        sortedFrequencyCurve(*shape.distribution, 1'000'000, 32);
+    ASSERT_GE(curve.size(), 10u);
+    // Ranks strictly increase; expected counts broadly decrease
+    // (power-law head to tail, allowing small local noise from
+    // piecewise anchors).
+    EXPECT_GT(curve.front().second, curve.back().second * 10);
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_GT(curve[i].first, curve[i - 1].first);
+}
+
+TEST(DatasetsTest, CurveMassSumsToTotal)
+{
+    // Expected per-row count at rank r times the number of rows in the
+    // neighbourhood should integrate to roughly the total accesses;
+    // check the head bucket explicitly: count at rank 0 equals mass of
+    // the first row times the total.
+    const auto shape = criteo();
+    const auto curve =
+        sortedFrequencyCurve(*shape.distribution, 1'000'000, 16);
+    const double head_mass = shape.distribution->massOfTopRows(1);
+    EXPECT_NEAR(curve.front().second, head_mass * 1'000'000, 1e-6);
+}
+
+} // namespace
+} // namespace erec::workload

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the executable DLRM model: output validity, determinism,
+ * and the decomposition used by the dense shard (runBottom +
+ * interactAndPredict must equal forward).
+ */
+
+#include <gtest/gtest.h>
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/model/dlrm.h"
+
+namespace erec::model {
+namespace {
+
+DlrmConfig
+tinyConfig()
+{
+    DlrmConfig c = rm1();
+    c.name = "tiny";
+    c.rowsPerTable = 1000;
+    c.numTables = 4;
+    c.poolingFactor = 8;
+    c.batchSize = 4;
+    return c;
+}
+
+workload::Query
+makeQuery(const DlrmConfig &config, std::uint64_t seed = 1)
+{
+    workload::QueryShape shape;
+    shape.batchSize = config.batchSize;
+    shape.numTables = config.numTables;
+    shape.gathersPerItem = config.poolingFactor;
+    workload::QueryGenerator gen(
+        shape,
+        std::make_shared<workload::UniformDistribution>(
+            config.rowsPerTable),
+        seed);
+    return gen.next();
+}
+
+TEST(DlrmTest, OutputsAreProbabilities)
+{
+    const auto config = tinyConfig();
+    Dlrm model(config);
+    const auto q = makeQuery(config);
+    const auto in = model.syntheticDenseInput(q.id, q.batchSize);
+    const auto probs = model.forward(in, q.lookups, q.batchSize);
+    ASSERT_EQ(probs.size(), config.batchSize);
+    for (float p : probs) {
+        EXPECT_GT(p, 0.0f);
+        EXPECT_LT(p, 1.0f);
+    }
+}
+
+TEST(DlrmTest, DeterministicForSeed)
+{
+    const auto config = tinyConfig();
+    Dlrm a(config, embedding::Storage::Materialized, 7);
+    Dlrm b(config, embedding::Storage::Materialized, 7);
+    const auto q = makeQuery(config);
+    const auto in = a.syntheticDenseInput(q.id, q.batchSize);
+    EXPECT_EQ(a.forward(in, q.lookups, q.batchSize),
+              b.forward(in, q.lookups, q.batchSize));
+}
+
+TEST(DlrmTest, DifferentLookupsChangeOutput)
+{
+    const auto config = tinyConfig();
+    Dlrm model(config);
+    const auto q1 = makeQuery(config, 1);
+    const auto q2 = makeQuery(config, 2);
+    const auto in = model.syntheticDenseInput(0, config.batchSize);
+    EXPECT_NE(model.forward(in, q1.lookups, config.batchSize),
+              model.forward(in, q2.lookups, config.batchSize));
+}
+
+TEST(DlrmTest, DecompositionMatchesForward)
+{
+    // The dense-shard path (runBottom + local gathers +
+    // interactAndPredict) must be numerically identical to forward().
+    const auto config = tinyConfig();
+    Dlrm model(config);
+    const auto q = makeQuery(config);
+    const auto in = model.syntheticDenseInput(q.id, q.batchSize);
+
+    const auto bottom = model.runBottom(in, q.batchSize);
+    std::vector<std::vector<float>> pooled(config.numTables);
+    for (std::uint32_t t = 0; t < config.numTables; ++t) {
+        pooled[t].assign(q.batchSize * config.embeddingDim, 0.0f);
+        model.table(t)->gatherPool(q.lookups[t].indices,
+                                   q.lookups[t].offsets,
+                                   pooled[t].data());
+    }
+    const auto via_parts =
+        model.interactAndPredict(bottom, pooled, q.batchSize);
+    const auto direct = model.forward(in, q.lookups, q.batchSize);
+    ASSERT_EQ(via_parts.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_FLOAT_EQ(via_parts[i], direct[i]);
+}
+
+TEST(DlrmTest, VirtualStorageWorksEndToEnd)
+{
+    auto config = tinyConfig();
+    Dlrm model(config, embedding::Storage::Virtual);
+    const auto q = makeQuery(config);
+    const auto in = model.syntheticDenseInput(q.id, q.batchSize);
+    const auto probs = model.forward(in, q.lookups, q.batchSize);
+    for (float p : probs) {
+        EXPECT_GT(p, 0.0f);
+        EXPECT_LT(p, 1.0f);
+    }
+}
+
+TEST(DlrmTest, RejectsMismatchedInputs)
+{
+    const auto config = tinyConfig();
+    Dlrm model(config);
+    const auto q = makeQuery(config);
+    EXPECT_THROW(model.forward(std::vector<float>(3), q.lookups,
+                               config.batchSize),
+                 ConfigError);
+    EXPECT_THROW(model.table(config.numTables), ConfigError);
+}
+
+TEST(DlrmTest, RejectsBottomDimMismatch)
+{
+    DlrmConfig c = tinyConfig();
+    c.bottomMlp = MlpSpec{{64, 16}}; // output 16 != embedding dim 32
+    EXPECT_THROW(Dlrm{c}, ConfigError);
+}
+
+} // namespace
+} // namespace erec::model

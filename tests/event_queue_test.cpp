@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/sim/event_queue.h"
+
+namespace erec::sim {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&]() { order.push_back(3); });
+    q.schedule(10, [&]() { order.push_back(1); });
+    q.schedule(20, [&]() { order.push_back(2); });
+    q.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 100);
+    EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueueTest, FifoAtSameTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(10, [&order, i]() { order.push_back(i); });
+    q.runUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, EventsMayScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&]() {
+        ++fired;
+        q.scheduleAfter(5, [&]() { ++fired; });
+    });
+    q.runUntil(9);
+    EXPECT_EQ(fired, 1);
+    q.runUntil(10);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&]() { ++fired; });
+    q.schedule(11, [&]() { ++fired; });
+    q.runUntil(10); // inclusive boundary
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 10);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueueTest, ClockNeverGoesBackwards)
+{
+    EventQueue q;
+    q.schedule(50, []() {});
+    q.runUntil(100);
+    EXPECT_THROW(q.schedule(99, []() {}), ConfigError);
+    EXPECT_THROW(q.scheduleAfter(-1, []() {}), ConfigError);
+}
+
+TEST(EventQueueTest, RunOneReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.runOne());
+    q.schedule(1, []() {});
+    EXPECT_TRUE(q.runOne());
+    EXPECT_FALSE(q.runOne());
+}
+
+} // namespace
+} // namespace erec::sim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the logging facility and the error-handling macros.
+ */
+
+#include <gtest/gtest.h>
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/common/logging.h"
+
+namespace erec {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(before);
+}
+
+TEST(LoggingTest, LogLineStreamsWithoutCrashing)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Off);
+    ERC_LOG_INFO << "value=" << 42 << " pi=" << 3.14;
+    ERC_LOG_ERROR << "suppressed too";
+    setLogLevel(before);
+}
+
+TEST(ErrorTest, CheckThrowsConfigError)
+{
+    EXPECT_NO_THROW(ERC_CHECK(1 + 1 == 2, "fine"));
+    try {
+        ERC_CHECK(false, "the message " << 7);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("the message 7"), std::string::npos);
+        EXPECT_NE(what.find("false"), std::string::npos);
+        EXPECT_NE(what.find("logging_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(ErrorTest, AssertThrowsInternalError)
+{
+    EXPECT_NO_THROW(ERC_ASSERT(true, "ok"));
+    EXPECT_THROW(ERC_ASSERT(false, "bug"), InternalError);
+}
+
+TEST(ErrorTest, FatalAndPanicTypes)
+{
+    EXPECT_THROW(fatal("user error"), ConfigError);
+    EXPECT_THROW(panic("library bug"), InternalError);
+    // ConfigError is a runtime_error; InternalError is a logic_error.
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+    EXPECT_THROW(panic("x"), std::logic_error);
+}
+
+} // namespace
+} // namespace erec

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the metrics registry and deployment bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "elasticrec/cluster/deployment.h"
+#include "elasticrec/cluster/metrics.h"
+#include "elasticrec/common/error.h"
+
+namespace erec::cluster {
+namespace {
+
+TEST(MetricsRegistryTest, QpsWindow)
+{
+    MetricsRegistry m(10 * units::kSecond);
+    for (int i = 0; i < 100; ++i)
+        m.recordCompletion("svc", i * 100 * units::kMillisecond,
+                           units::kMillisecond);
+    // 10 completions/sec over the trailing window.
+    EXPECT_NEAR(m.qps("svc", 10 * units::kSecond), 10.0, 1.0);
+    EXPECT_EQ(m.completions("svc"), 100u);
+}
+
+TEST(MetricsRegistryTest, LatencyQuantile)
+{
+    MetricsRegistry m;
+    for (int i = 1; i <= 100; ++i)
+        m.recordCompletion("svc", units::kSecond,
+                           i * units::kMillisecond);
+    const SimTime p95 =
+        m.latencyQuantile("svc", units::kSecond, 0.95);
+    EXPECT_NEAR(units::toMillis(p95), 95.0, 1.0);
+}
+
+TEST(MetricsRegistryTest, UnknownSeriesIsZero)
+{
+    MetricsRegistry m;
+    EXPECT_EQ(m.completions("nope"), 0u);
+    EXPECT_EQ(m.slaViolations("nope"), 0u);
+    EXPECT_DOUBLE_EQ(m.qps("nope", 0), 0.0);
+}
+
+TEST(MetricsRegistryTest, SlaViolations)
+{
+    MetricsRegistry m;
+    m.recordSlaViolation("svc");
+    m.recordSlaViolation("svc");
+    EXPECT_EQ(m.slaViolations("svc"), 2u);
+}
+
+TEST(MetricsRegistryTest, Gauges)
+{
+    MetricsRegistry m;
+    EXPECT_DOUBLE_EQ(m.gauge("mem"), 0.0);
+    m.setGauge("mem", 42.5);
+    EXPECT_DOUBLE_EQ(m.gauge("mem"), 42.5);
+}
+
+TEST(DeploymentTest, ClampsDesiredReplicas)
+{
+    core::ShardSpec spec;
+    spec.name = "d";
+    Deployment d(spec, 3);
+    EXPECT_EQ(d.desiredReplicas(), 3u);
+    d.setReplicaBounds(2, 10);
+    d.setDesiredReplicas(100);
+    EXPECT_EQ(d.desiredReplicas(), 10u);
+    d.setDesiredReplicas(0);
+    EXPECT_EQ(d.desiredReplicas(), 2u);
+    EXPECT_THROW(d.setReplicaBounds(0, 5), ConfigError);
+    EXPECT_THROW(d.setReplicaBounds(6, 5), ConfigError);
+}
+
+TEST(DeploymentTest, ResourceRequestFromSpec)
+{
+    core::ShardSpec spec;
+    spec.name = "d";
+    spec.cpuCores = 4;
+    spec.memBytes = 123;
+    spec.usesGpu = true;
+    const auto req = resourceRequestFor(spec);
+    EXPECT_EQ(req.cpuCores, 4u);
+    EXPECT_EQ(req.memBytes, 123u);
+    EXPECT_TRUE(req.gpu);
+}
+
+} // namespace
+} // namespace erec::cluster

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the simulated pod: queueing, multi-stage pipelining,
+ * jitter, lifecycle and drain semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/sim/pod.h"
+
+namespace erec::sim {
+namespace {
+
+WorkItem
+item(std::vector<SimTime> &done, double jitter = 1.0)
+{
+    WorkItem w;
+    w.jitter = jitter;
+    w.onDone = [&done](SimTime t) { done.push_back(t); };
+    return w;
+}
+
+TEST(PodTest, SingleStageFifoQueueing)
+{
+    EventQueue q;
+    Pod pod(1, {100});
+    pod.markReady();
+    std::vector<SimTime> done;
+    pod.submit(q, item(done));
+    pod.submit(q, item(done));
+    pod.submit(q, item(done));
+    EXPECT_EQ(pod.inFlight(), 3u);
+    q.runUntil(1000);
+    // Serial service: completions at 100, 200, 300.
+    EXPECT_EQ(done, (std::vector<SimTime>{100, 200, 300}));
+    EXPECT_EQ(pod.served(), 3u);
+    EXPECT_EQ(pod.inFlight(), 0u);
+}
+
+TEST(PodTest, TwoStagePipelineThroughput)
+{
+    // Stages of 100 and 50: latency = 150, but steady-state spacing is
+    // governed by the slower stage (100) — the Figure 4 premise.
+    EventQueue q;
+    Pod pod(1, {100, 50});
+    pod.markReady();
+    std::vector<SimTime> done;
+    for (int i = 0; i < 4; ++i)
+        pod.submit(q, item(done));
+    q.runUntil(10000);
+    EXPECT_EQ(done,
+              (std::vector<SimTime>{150, 250, 350, 450}));
+}
+
+TEST(PodTest, SlowSecondStageGovernsToo)
+{
+    EventQueue q;
+    Pod pod(1, {50, 100});
+    pod.markReady();
+    std::vector<SimTime> done;
+    for (int i = 0; i < 3; ++i)
+        pod.submit(q, item(done));
+    q.runUntil(10000);
+    // First completion at 150; subsequent at +100 each.
+    EXPECT_EQ(done, (std::vector<SimTime>{150, 250, 350}));
+}
+
+TEST(PodTest, JitterScalesServiceTime)
+{
+    EventQueue q;
+    Pod pod(1, {100});
+    pod.markReady();
+    std::vector<SimTime> done;
+    pod.submit(q, item(done, 2.0));
+    q.runUntil(10000);
+    EXPECT_EQ(done, (std::vector<SimTime>{200}));
+}
+
+TEST(PodTest, SubmitRequiresReady)
+{
+    EventQueue q;
+    Pod pod(1, {100});
+    std::vector<SimTime> done;
+    EXPECT_THROW(pod.submit(q, item(done)), ConfigError);
+}
+
+TEST(PodTest, StealQueuedLeavesInService)
+{
+    EventQueue q;
+    Pod pod(1, {100});
+    pod.markReady();
+    std::vector<SimTime> done;
+    for (int i = 0; i < 5; ++i)
+        pod.submit(q, item(done));
+    // One item is in service, four are queued.
+    auto stolen = pod.stealQueued();
+    EXPECT_EQ(stolen.size(), 4u);
+    EXPECT_EQ(pod.inFlight(), 1u);
+    pod.markTerminating();
+    EXPECT_FALSE(pod.drained());
+    q.runUntil(1000);
+    EXPECT_TRUE(pod.drained());
+    EXPECT_EQ(done.size(), 1u);
+}
+
+TEST(PodTest, RejectsEmptyStages)
+{
+    EXPECT_THROW(Pod(1, {}), ConfigError);
+    EXPECT_THROW(Pod(1, {0}), ConfigError);
+}
+
+TEST(PodTest, ManyItemsThroughputMatchesBottleneck)
+{
+    EventQueue q;
+    Pod pod(1, {10, 30, 20});
+    pod.markReady();
+    std::vector<SimTime> done;
+    const int n = 100;
+    for (int i = 0; i < n; ++i)
+        pod.submit(q, item(done));
+    q.runUntil(100000);
+    ASSERT_EQ(done.size(), static_cast<std::size_t>(n));
+    // Steady-state inter-completion gap equals the slowest stage (30).
+    for (std::size_t i = 10; i < done.size(); ++i)
+        EXPECT_EQ(done[i] - done[i - 1], 30);
+}
+
+TEST(PodTest, CrashReturnsQueuedAndLosesInService)
+{
+    EventQueue q;
+    Pod pod(1, {100});
+    pod.markReady();
+    std::vector<SimTime> done;
+    for (int i = 0; i < 5; ++i)
+        pod.submit(q, item(done));
+    // One in service + four queued; crash returns the four.
+    auto requeue = pod.crash();
+    EXPECT_EQ(requeue.size(), 4u);
+    EXPECT_EQ(pod.state(), PodState::Crashed);
+    EXPECT_FALSE(pod.removable()); // in-service event still pending
+    q.runUntil(1000);
+    // The in-service item died with the pod: no completion fired.
+    EXPECT_TRUE(done.empty());
+    EXPECT_EQ(pod.lostItems(), 1u);
+    EXPECT_TRUE(pod.removable());
+}
+
+TEST(PodTest, CrashLosesMidPipelineWork)
+{
+    EventQueue q;
+    Pod pod(1, {100, 100});
+    pod.markReady();
+    std::vector<SimTime> done;
+    for (int i = 0; i < 3; ++i)
+        pod.submit(q, item(done));
+    // Advance so item 0 sits in stage 2 and item 1 in stage 1.
+    q.runUntil(150);
+    auto requeue = pod.crash();
+    EXPECT_EQ(requeue.size(), 1u); // item 2 still queued at stage 1
+    q.runUntil(5000);
+    EXPECT_TRUE(done.empty());
+    EXPECT_EQ(pod.lostItems(), 2u);
+    EXPECT_TRUE(pod.removable());
+}
+
+TEST(PodTest, CrashOnIdlePodIsImmediatelyRemovable)
+{
+    EventQueue q;
+    Pod pod(1, {100});
+    pod.markReady();
+    auto requeue = pod.crash();
+    EXPECT_TRUE(requeue.empty());
+    EXPECT_TRUE(pod.removable());
+    EXPECT_EQ(pod.lostItems(), 0u);
+}
+
+} // namespace
+} // namespace erec::sim

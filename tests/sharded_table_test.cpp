@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the partitioned (sharded) table view: range math, shard
+ * lookup, permutation composition and shard-local gathers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/embedding/sharded_table.h"
+
+namespace erec::embedding {
+namespace {
+
+std::shared_ptr<EmbeddingTable>
+makeTable(std::uint64_t rows = 10, std::uint32_t dim = 4)
+{
+    return std::make_shared<EmbeddingTable>(rows, dim);
+}
+
+TEST(ShardedTableTest, RangesAndBytes)
+{
+    ShardedTable st(makeTable(10, 4), {}, {6, 10});
+    EXPECT_EQ(st.numShards(), 2u);
+    EXPECT_EQ(st.shardRange(0).begin, 0u);
+    EXPECT_EQ(st.shardRange(0).end, 6u);
+    EXPECT_EQ(st.shardRange(1).begin, 6u);
+    EXPECT_EQ(st.shardRange(1).end, 10u);
+    EXPECT_EQ(st.shardBytes(0), 6u * 16);
+    EXPECT_EQ(st.shardBytes(1), 4u * 16);
+}
+
+TEST(ShardedTableTest, ShardOfRankAndLocalId)
+{
+    ShardedTable st(makeTable(10, 4), {}, {6, 10});
+    EXPECT_EQ(st.shardOfRank(0), 0u);
+    EXPECT_EQ(st.shardOfRank(5), 0u);
+    EXPECT_EQ(st.shardOfRank(6), 1u);
+    EXPECT_EQ(st.shardOfRank(9), 1u);
+    EXPECT_EQ(st.localId(5), 5u);
+    EXPECT_EQ(st.localId(6), 0u);
+    EXPECT_EQ(st.localId(9), 3u);
+}
+
+TEST(ShardedTableTest, IdentityPermutationOriginalIds)
+{
+    ShardedTable st(makeTable(10, 4), {}, {10});
+    for (std::uint32_t r = 0; r < 10; ++r)
+        EXPECT_EQ(st.originalId(r), r);
+}
+
+TEST(ShardedTableTest, PermutationMapsRankToOriginal)
+{
+    // Reverse permutation: rank r holds original row 9-r.
+    std::vector<std::uint32_t> perm(10);
+    for (std::uint32_t i = 0; i < 10; ++i)
+        perm[i] = 9 - i;
+    ShardedTable st(makeTable(10, 4), perm, {5, 10});
+    EXPECT_EQ(st.originalId(0), 9u);
+    EXPECT_EQ(st.originalId(9), 0u);
+}
+
+TEST(ShardedTableTest, GatherPoolUsesPermutedRows)
+{
+    auto table = makeTable(10, 4);
+    std::vector<std::uint32_t> perm(10);
+    for (std::uint32_t i = 0; i < 10; ++i)
+        perm[i] = 9 - i;
+    ShardedTable st(table, perm, {5, 10});
+
+    // Shard 1 covers ranks [5, 10) = original rows {4,3,2,1,0}.
+    // Gather local IDs {0, 2} in shard 1 = ranks {5, 7} = rows {4, 2}.
+    std::vector<std::uint32_t> local = {0, 2};
+    std::vector<std::uint32_t> offsets = {0};
+    std::vector<float> out(4);
+    st.gatherPool(1, local, offsets, out.data());
+    for (std::uint32_t d = 0; d < 4; ++d)
+        EXPECT_FLOAT_EQ(out[d], table->at(4, d) + table->at(2, d));
+}
+
+TEST(ShardedTableTest, GatherEscapingShardThrows)
+{
+    ShardedTable st(makeTable(10, 4), {}, {5, 10});
+    std::vector<std::uint32_t> local = {5}; // shard 0 has rows [0, 5)
+    std::vector<std::uint32_t> offsets = {0};
+    std::vector<float> out(4);
+    EXPECT_THROW(st.gatherPool(0, local, offsets, out.data()),
+                 ConfigError);
+}
+
+TEST(ShardedTableTest, ShardGathersEqualWholeTableGather)
+{
+    // Partition-invariance: gathering rank IDs through shards and
+    // summing equals gathering the same rows from the whole table.
+    auto table = makeTable(20, 8);
+    std::vector<std::uint32_t> perm(20);
+    std::iota(perm.begin(), perm.end(), 0u);
+    std::reverse(perm.begin(), perm.end());
+    ShardedTable st(table, perm, {7, 13, 20});
+
+    const std::vector<std::uint32_t> ranks = {0, 3, 8, 12, 13, 19, 6};
+    // Whole-table reference: sum original rows for all ranks.
+    std::vector<float> expect(8, 0.0f);
+    for (auto r : ranks) {
+        for (std::uint32_t d = 0; d < 8; ++d)
+            expect[d] += table->at(st.originalId(r), d);
+    }
+    // Shard-wise: bucket the ranks by shard, gather each, sum.
+    std::vector<float> got(8, 0.0f);
+    for (std::uint32_t s = 0; s < st.numShards(); ++s) {
+        std::vector<std::uint32_t> local;
+        for (auto r : ranks)
+            if (st.shardOfRank(r) == s)
+                local.push_back(static_cast<std::uint32_t>(
+                    st.localId(r)));
+        if (local.empty())
+            continue;
+        std::vector<std::uint32_t> offsets = {0};
+        std::vector<float> part(8);
+        st.gatherPool(s, local, offsets, part.data());
+        for (int d = 0; d < 8; ++d)
+            got[d] += part[d];
+    }
+    for (int d = 0; d < 8; ++d)
+        EXPECT_FLOAT_EQ(got[d], expect[d]);
+}
+
+TEST(ShardedTableTest, RejectsBadBoundaries)
+{
+    EXPECT_THROW(ShardedTable(makeTable(10, 4), {}, {}), ConfigError);
+    EXPECT_THROW(ShardedTable(makeTable(10, 4), {}, {5, 5, 10}),
+                 ConfigError);
+    EXPECT_THROW(ShardedTable(makeTable(10, 4), {}, {5, 9}),
+                 ConfigError);
+    EXPECT_THROW(ShardedTable(makeTable(10, 4),
+                              std::vector<std::uint32_t>(3), {10}),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace erec::embedding
