@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bursty_traffic.dir/ablation_bursty_traffic.cpp.o"
+  "CMakeFiles/ablation_bursty_traffic.dir/ablation_bursty_traffic.cpp.o.d"
+  "ablation_bursty_traffic"
+  "ablation_bursty_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bursty_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_column_wise.dir/ablation_column_wise.cpp.o"
+  "CMakeFiles/ablation_column_wise.dir/ablation_column_wise.cpp.o.d"
+  "ablation_column_wise"
+  "ablation_column_wise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_column_wise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

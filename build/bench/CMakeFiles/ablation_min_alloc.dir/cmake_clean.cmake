@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_min_alloc.dir/ablation_min_alloc.cpp.o"
+  "CMakeFiles/ablation_min_alloc.dir/ablation_min_alloc.cpp.o.d"
+  "ablation_min_alloc"
+  "ablation_min_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_min_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

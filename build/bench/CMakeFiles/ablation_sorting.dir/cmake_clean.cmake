@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sorting.dir/ablation_sorting.cpp.o"
+  "CMakeFiles/ablation_sorting.dir/ablation_sorting.cpp.o.d"
+  "ablation_sorting"
+  "ablation_sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

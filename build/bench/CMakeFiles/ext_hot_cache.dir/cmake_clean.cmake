@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hot_cache.dir/ext_hot_cache.cpp.o"
+  "CMakeFiles/ext_hot_cache.dir/ext_hot_cache.cpp.o.d"
+  "ext_hot_cache"
+  "ext_hot_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hot_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_layer_qps.dir/fig05_layer_qps.cpp.o"
+  "CMakeFiles/fig05_layer_qps.dir/fig05_layer_qps.cpp.o.d"
+  "fig05_layer_qps"
+  "fig05_layer_qps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_layer_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_access_skew.dir/fig06_access_skew.cpp.o"
+  "CMakeFiles/fig06_access_skew.dir/fig06_access_skew.cpp.o.d"
+  "fig06_access_skew"
+  "fig06_access_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_access_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_gather_profile.dir/fig09_gather_profile.cpp.o"
+  "CMakeFiles/fig09_gather_profile.dir/fig09_gather_profile.cpp.o.d"
+  "fig09_gather_profile"
+  "fig09_gather_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_gather_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

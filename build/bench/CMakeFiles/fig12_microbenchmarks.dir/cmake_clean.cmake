@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_microbenchmarks.dir/fig12_microbenchmarks.cpp.o"
+  "CMakeFiles/fig12_microbenchmarks.dir/fig12_microbenchmarks.cpp.o.d"
+  "fig12_microbenchmarks"
+  "fig12_microbenchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_microbenchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

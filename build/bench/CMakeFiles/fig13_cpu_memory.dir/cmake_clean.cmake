@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cpu_memory.dir/fig13_cpu_memory.cpp.o"
+  "CMakeFiles/fig13_cpu_memory.dir/fig13_cpu_memory.cpp.o.d"
+  "fig13_cpu_memory"
+  "fig13_cpu_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cpu_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig14_cpu_utility.cpp" "bench/CMakeFiles/fig14_cpu_utility.dir/fig14_cpu_utility.cpp.o" "gcc" "bench/CMakeFiles/fig14_cpu_utility.dir/fig14_cpu_utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elasticrec/sim/CMakeFiles/elasticrec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/serving/CMakeFiles/elasticrec_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/cluster/CMakeFiles/elasticrec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/core/CMakeFiles/elasticrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/model/CMakeFiles/elasticrec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/embedding/CMakeFiles/elasticrec_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/workload/CMakeFiles/elasticrec_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/rpc/CMakeFiles/elasticrec_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/hw/CMakeFiles/elasticrec_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/common/CMakeFiles/elasticrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

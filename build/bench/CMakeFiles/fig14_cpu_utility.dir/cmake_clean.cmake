@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cpu_utility.dir/fig14_cpu_utility.cpp.o"
+  "CMakeFiles/fig14_cpu_utility.dir/fig14_cpu_utility.cpp.o.d"
+  "fig14_cpu_utility"
+  "fig14_cpu_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cpu_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

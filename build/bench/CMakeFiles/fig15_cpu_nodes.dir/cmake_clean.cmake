@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cpu_nodes.dir/fig15_cpu_nodes.cpp.o"
+  "CMakeFiles/fig15_cpu_nodes.dir/fig15_cpu_nodes.cpp.o.d"
+  "fig15_cpu_nodes"
+  "fig15_cpu_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cpu_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_gpu_utility.dir/fig17_gpu_utility.cpp.o"
+  "CMakeFiles/fig17_gpu_utility.dir/fig17_gpu_utility.cpp.o.d"
+  "fig17_gpu_utility"
+  "fig17_gpu_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_gpu_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_gpu_nodes.dir/fig18_gpu_nodes.cpp.o"
+  "CMakeFiles/fig18_gpu_nodes.dir/fig18_gpu_nodes.cpp.o.d"
+  "fig18_gpu_nodes"
+  "fig18_gpu_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_gpu_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

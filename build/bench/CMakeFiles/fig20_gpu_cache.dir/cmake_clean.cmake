@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_gpu_cache.dir/fig20_gpu_cache.cpp.o"
+  "CMakeFiles/fig20_gpu_cache.dir/fig20_gpu_cache.cpp.o.d"
+  "fig20_gpu_cache"
+  "fig20_gpu_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_gpu_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

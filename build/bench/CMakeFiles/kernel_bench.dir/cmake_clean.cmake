@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_bench.dir/kernel_bench.cpp.o"
+  "CMakeFiles/kernel_bench.dir/kernel_bench.cpp.o.d"
+  "kernel_bench"
+  "kernel_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_tables.dir/hetero_tables.cpp.o"
+  "CMakeFiles/hetero_tables.dir/hetero_tables.cpp.o.d"
+  "hetero_tables"
+  "hetero_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

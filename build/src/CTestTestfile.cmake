@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("elasticrec/common")
+subdirs("elasticrec/workload")
+subdirs("elasticrec/embedding")
+subdirs("elasticrec/model")
+subdirs("elasticrec/hw")
+subdirs("elasticrec/rpc")
+subdirs("elasticrec/core")
+subdirs("elasticrec/serving")
+subdirs("elasticrec/cluster")
+subdirs("elasticrec/sim")

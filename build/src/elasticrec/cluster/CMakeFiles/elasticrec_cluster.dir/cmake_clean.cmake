@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticrec_cluster.dir/deployment.cc.o"
+  "CMakeFiles/elasticrec_cluster.dir/deployment.cc.o.d"
+  "CMakeFiles/elasticrec_cluster.dir/hpa.cc.o"
+  "CMakeFiles/elasticrec_cluster.dir/hpa.cc.o.d"
+  "CMakeFiles/elasticrec_cluster.dir/load_balancer.cc.o"
+  "CMakeFiles/elasticrec_cluster.dir/load_balancer.cc.o.d"
+  "CMakeFiles/elasticrec_cluster.dir/metrics.cc.o"
+  "CMakeFiles/elasticrec_cluster.dir/metrics.cc.o.d"
+  "CMakeFiles/elasticrec_cluster.dir/scheduler.cc.o"
+  "CMakeFiles/elasticrec_cluster.dir/scheduler.cc.o.d"
+  "libelasticrec_cluster.a"
+  "libelasticrec_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticrec_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elasticrec/common/logging.cc" "src/elasticrec/common/CMakeFiles/elasticrec_common.dir/logging.cc.o" "gcc" "src/elasticrec/common/CMakeFiles/elasticrec_common.dir/logging.cc.o.d"
+  "/root/repo/src/elasticrec/common/rng.cc" "src/elasticrec/common/CMakeFiles/elasticrec_common.dir/rng.cc.o" "gcc" "src/elasticrec/common/CMakeFiles/elasticrec_common.dir/rng.cc.o.d"
+  "/root/repo/src/elasticrec/common/stats.cc" "src/elasticrec/common/CMakeFiles/elasticrec_common.dir/stats.cc.o" "gcc" "src/elasticrec/common/CMakeFiles/elasticrec_common.dir/stats.cc.o.d"
+  "/root/repo/src/elasticrec/common/table_printer.cc" "src/elasticrec/common/CMakeFiles/elasticrec_common.dir/table_printer.cc.o" "gcc" "src/elasticrec/common/CMakeFiles/elasticrec_common.dir/table_printer.cc.o.d"
+  "/root/repo/src/elasticrec/common/units.cc" "src/elasticrec/common/CMakeFiles/elasticrec_common.dir/units.cc.o" "gcc" "src/elasticrec/common/CMakeFiles/elasticrec_common.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

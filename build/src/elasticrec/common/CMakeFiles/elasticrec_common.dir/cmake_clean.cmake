@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticrec_common.dir/logging.cc.o"
+  "CMakeFiles/elasticrec_common.dir/logging.cc.o.d"
+  "CMakeFiles/elasticrec_common.dir/rng.cc.o"
+  "CMakeFiles/elasticrec_common.dir/rng.cc.o.d"
+  "CMakeFiles/elasticrec_common.dir/stats.cc.o"
+  "CMakeFiles/elasticrec_common.dir/stats.cc.o.d"
+  "CMakeFiles/elasticrec_common.dir/table_printer.cc.o"
+  "CMakeFiles/elasticrec_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/elasticrec_common.dir/units.cc.o"
+  "CMakeFiles/elasticrec_common.dir/units.cc.o.d"
+  "libelasticrec_common.a"
+  "libelasticrec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticrec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elasticrec/core/bucketizer.cc" "src/elasticrec/core/CMakeFiles/elasticrec_core.dir/bucketizer.cc.o" "gcc" "src/elasticrec/core/CMakeFiles/elasticrec_core.dir/bucketizer.cc.o.d"
+  "/root/repo/src/elasticrec/core/cost_model.cc" "src/elasticrec/core/CMakeFiles/elasticrec_core.dir/cost_model.cc.o" "gcc" "src/elasticrec/core/CMakeFiles/elasticrec_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/elasticrec/core/dp_partitioner.cc" "src/elasticrec/core/CMakeFiles/elasticrec_core.dir/dp_partitioner.cc.o" "gcc" "src/elasticrec/core/CMakeFiles/elasticrec_core.dir/dp_partitioner.cc.o.d"
+  "/root/repo/src/elasticrec/core/planner.cc" "src/elasticrec/core/CMakeFiles/elasticrec_core.dir/planner.cc.o" "gcc" "src/elasticrec/core/CMakeFiles/elasticrec_core.dir/planner.cc.o.d"
+  "/root/repo/src/elasticrec/core/qps_model.cc" "src/elasticrec/core/CMakeFiles/elasticrec_core.dir/qps_model.cc.o" "gcc" "src/elasticrec/core/CMakeFiles/elasticrec_core.dir/qps_model.cc.o.d"
+  "/root/repo/src/elasticrec/core/utility_tracker.cc" "src/elasticrec/core/CMakeFiles/elasticrec_core.dir/utility_tracker.cc.o" "gcc" "src/elasticrec/core/CMakeFiles/elasticrec_core.dir/utility_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elasticrec/common/CMakeFiles/elasticrec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/embedding/CMakeFiles/elasticrec_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/hw/CMakeFiles/elasticrec_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/model/CMakeFiles/elasticrec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/rpc/CMakeFiles/elasticrec_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/workload/CMakeFiles/elasticrec_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

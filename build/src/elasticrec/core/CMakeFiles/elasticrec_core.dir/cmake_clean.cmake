@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticrec_core.dir/bucketizer.cc.o"
+  "CMakeFiles/elasticrec_core.dir/bucketizer.cc.o.d"
+  "CMakeFiles/elasticrec_core.dir/cost_model.cc.o"
+  "CMakeFiles/elasticrec_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/elasticrec_core.dir/dp_partitioner.cc.o"
+  "CMakeFiles/elasticrec_core.dir/dp_partitioner.cc.o.d"
+  "CMakeFiles/elasticrec_core.dir/planner.cc.o"
+  "CMakeFiles/elasticrec_core.dir/planner.cc.o.d"
+  "CMakeFiles/elasticrec_core.dir/qps_model.cc.o"
+  "CMakeFiles/elasticrec_core.dir/qps_model.cc.o.d"
+  "CMakeFiles/elasticrec_core.dir/utility_tracker.cc.o"
+  "CMakeFiles/elasticrec_core.dir/utility_tracker.cc.o.d"
+  "libelasticrec_core.a"
+  "libelasticrec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticrec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

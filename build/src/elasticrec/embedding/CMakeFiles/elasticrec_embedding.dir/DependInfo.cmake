@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elasticrec/embedding/access_cdf.cc" "src/elasticrec/embedding/CMakeFiles/elasticrec_embedding.dir/access_cdf.cc.o" "gcc" "src/elasticrec/embedding/CMakeFiles/elasticrec_embedding.dir/access_cdf.cc.o.d"
+  "/root/repo/src/elasticrec/embedding/embedding_table.cc" "src/elasticrec/embedding/CMakeFiles/elasticrec_embedding.dir/embedding_table.cc.o" "gcc" "src/elasticrec/embedding/CMakeFiles/elasticrec_embedding.dir/embedding_table.cc.o.d"
+  "/root/repo/src/elasticrec/embedding/frequency_tracker.cc" "src/elasticrec/embedding/CMakeFiles/elasticrec_embedding.dir/frequency_tracker.cc.o" "gcc" "src/elasticrec/embedding/CMakeFiles/elasticrec_embedding.dir/frequency_tracker.cc.o.d"
+  "/root/repo/src/elasticrec/embedding/sharded_table.cc" "src/elasticrec/embedding/CMakeFiles/elasticrec_embedding.dir/sharded_table.cc.o" "gcc" "src/elasticrec/embedding/CMakeFiles/elasticrec_embedding.dir/sharded_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elasticrec/common/CMakeFiles/elasticrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticrec_embedding.dir/access_cdf.cc.o"
+  "CMakeFiles/elasticrec_embedding.dir/access_cdf.cc.o.d"
+  "CMakeFiles/elasticrec_embedding.dir/embedding_table.cc.o"
+  "CMakeFiles/elasticrec_embedding.dir/embedding_table.cc.o.d"
+  "CMakeFiles/elasticrec_embedding.dir/frequency_tracker.cc.o"
+  "CMakeFiles/elasticrec_embedding.dir/frequency_tracker.cc.o.d"
+  "CMakeFiles/elasticrec_embedding.dir/sharded_table.cc.o"
+  "CMakeFiles/elasticrec_embedding.dir/sharded_table.cc.o.d"
+  "libelasticrec_embedding.a"
+  "libelasticrec_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticrec_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elasticrec/hw/latency_model.cc" "src/elasticrec/hw/CMakeFiles/elasticrec_hw.dir/latency_model.cc.o" "gcc" "src/elasticrec/hw/CMakeFiles/elasticrec_hw.dir/latency_model.cc.o.d"
+  "/root/repo/src/elasticrec/hw/network.cc" "src/elasticrec/hw/CMakeFiles/elasticrec_hw.dir/network.cc.o" "gcc" "src/elasticrec/hw/CMakeFiles/elasticrec_hw.dir/network.cc.o.d"
+  "/root/repo/src/elasticrec/hw/platform.cc" "src/elasticrec/hw/CMakeFiles/elasticrec_hw.dir/platform.cc.o" "gcc" "src/elasticrec/hw/CMakeFiles/elasticrec_hw.dir/platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elasticrec/common/CMakeFiles/elasticrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticrec_hw.dir/latency_model.cc.o"
+  "CMakeFiles/elasticrec_hw.dir/latency_model.cc.o.d"
+  "CMakeFiles/elasticrec_hw.dir/network.cc.o"
+  "CMakeFiles/elasticrec_hw.dir/network.cc.o.d"
+  "CMakeFiles/elasticrec_hw.dir/platform.cc.o"
+  "CMakeFiles/elasticrec_hw.dir/platform.cc.o.d"
+  "libelasticrec_hw.a"
+  "libelasticrec_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticrec_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelasticrec_hw.a"
+)

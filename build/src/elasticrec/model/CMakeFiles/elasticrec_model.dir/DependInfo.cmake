@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elasticrec/model/dlrm.cc" "src/elasticrec/model/CMakeFiles/elasticrec_model.dir/dlrm.cc.o" "gcc" "src/elasticrec/model/CMakeFiles/elasticrec_model.dir/dlrm.cc.o.d"
+  "/root/repo/src/elasticrec/model/dlrm_config.cc" "src/elasticrec/model/CMakeFiles/elasticrec_model.dir/dlrm_config.cc.o" "gcc" "src/elasticrec/model/CMakeFiles/elasticrec_model.dir/dlrm_config.cc.o.d"
+  "/root/repo/src/elasticrec/model/mlp.cc" "src/elasticrec/model/CMakeFiles/elasticrec_model.dir/mlp.cc.o" "gcc" "src/elasticrec/model/CMakeFiles/elasticrec_model.dir/mlp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elasticrec/common/CMakeFiles/elasticrec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/embedding/CMakeFiles/elasticrec_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/workload/CMakeFiles/elasticrec_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

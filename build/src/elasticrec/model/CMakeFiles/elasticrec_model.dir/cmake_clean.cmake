@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticrec_model.dir/dlrm.cc.o"
+  "CMakeFiles/elasticrec_model.dir/dlrm.cc.o.d"
+  "CMakeFiles/elasticrec_model.dir/dlrm_config.cc.o"
+  "CMakeFiles/elasticrec_model.dir/dlrm_config.cc.o.d"
+  "CMakeFiles/elasticrec_model.dir/mlp.cc.o"
+  "CMakeFiles/elasticrec_model.dir/mlp.cc.o.d"
+  "libelasticrec_model.a"
+  "libelasticrec_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticrec_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

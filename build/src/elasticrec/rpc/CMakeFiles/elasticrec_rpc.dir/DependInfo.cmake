@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elasticrec/rpc/channel.cc" "src/elasticrec/rpc/CMakeFiles/elasticrec_rpc.dir/channel.cc.o" "gcc" "src/elasticrec/rpc/CMakeFiles/elasticrec_rpc.dir/channel.cc.o.d"
+  "/root/repo/src/elasticrec/rpc/message.cc" "src/elasticrec/rpc/CMakeFiles/elasticrec_rpc.dir/message.cc.o" "gcc" "src/elasticrec/rpc/CMakeFiles/elasticrec_rpc.dir/message.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elasticrec/common/CMakeFiles/elasticrec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/hw/CMakeFiles/elasticrec_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticrec_rpc.dir/channel.cc.o"
+  "CMakeFiles/elasticrec_rpc.dir/channel.cc.o.d"
+  "CMakeFiles/elasticrec_rpc.dir/message.cc.o"
+  "CMakeFiles/elasticrec_rpc.dir/message.cc.o.d"
+  "libelasticrec_rpc.a"
+  "libelasticrec_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticrec_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

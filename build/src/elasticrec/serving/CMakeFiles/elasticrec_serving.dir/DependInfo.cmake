@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elasticrec/serving/dense_shard_server.cc" "src/elasticrec/serving/CMakeFiles/elasticrec_serving.dir/dense_shard_server.cc.o" "gcc" "src/elasticrec/serving/CMakeFiles/elasticrec_serving.dir/dense_shard_server.cc.o.d"
+  "/root/repo/src/elasticrec/serving/monolithic_server.cc" "src/elasticrec/serving/CMakeFiles/elasticrec_serving.dir/monolithic_server.cc.o" "gcc" "src/elasticrec/serving/CMakeFiles/elasticrec_serving.dir/monolithic_server.cc.o.d"
+  "/root/repo/src/elasticrec/serving/sparse_shard_server.cc" "src/elasticrec/serving/CMakeFiles/elasticrec_serving.dir/sparse_shard_server.cc.o" "gcc" "src/elasticrec/serving/CMakeFiles/elasticrec_serving.dir/sparse_shard_server.cc.o.d"
+  "/root/repo/src/elasticrec/serving/stack_builder.cc" "src/elasticrec/serving/CMakeFiles/elasticrec_serving.dir/stack_builder.cc.o" "gcc" "src/elasticrec/serving/CMakeFiles/elasticrec_serving.dir/stack_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elasticrec/common/CMakeFiles/elasticrec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/core/CMakeFiles/elasticrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/embedding/CMakeFiles/elasticrec_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/model/CMakeFiles/elasticrec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/rpc/CMakeFiles/elasticrec_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/workload/CMakeFiles/elasticrec_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/hw/CMakeFiles/elasticrec_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

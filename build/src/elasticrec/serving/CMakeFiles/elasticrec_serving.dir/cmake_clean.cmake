@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticrec_serving.dir/dense_shard_server.cc.o"
+  "CMakeFiles/elasticrec_serving.dir/dense_shard_server.cc.o.d"
+  "CMakeFiles/elasticrec_serving.dir/monolithic_server.cc.o"
+  "CMakeFiles/elasticrec_serving.dir/monolithic_server.cc.o.d"
+  "CMakeFiles/elasticrec_serving.dir/sparse_shard_server.cc.o"
+  "CMakeFiles/elasticrec_serving.dir/sparse_shard_server.cc.o.d"
+  "CMakeFiles/elasticrec_serving.dir/stack_builder.cc.o"
+  "CMakeFiles/elasticrec_serving.dir/stack_builder.cc.o.d"
+  "libelasticrec_serving.a"
+  "libelasticrec_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticrec_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

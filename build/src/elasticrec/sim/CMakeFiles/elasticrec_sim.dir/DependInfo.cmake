@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elasticrec/sim/cluster_sim.cc" "src/elasticrec/sim/CMakeFiles/elasticrec_sim.dir/cluster_sim.cc.o" "gcc" "src/elasticrec/sim/CMakeFiles/elasticrec_sim.dir/cluster_sim.cc.o.d"
+  "/root/repo/src/elasticrec/sim/csv.cc" "src/elasticrec/sim/CMakeFiles/elasticrec_sim.dir/csv.cc.o" "gcc" "src/elasticrec/sim/CMakeFiles/elasticrec_sim.dir/csv.cc.o.d"
+  "/root/repo/src/elasticrec/sim/event_queue.cc" "src/elasticrec/sim/CMakeFiles/elasticrec_sim.dir/event_queue.cc.o" "gcc" "src/elasticrec/sim/CMakeFiles/elasticrec_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/elasticrec/sim/experiment.cc" "src/elasticrec/sim/CMakeFiles/elasticrec_sim.dir/experiment.cc.o" "gcc" "src/elasticrec/sim/CMakeFiles/elasticrec_sim.dir/experiment.cc.o.d"
+  "/root/repo/src/elasticrec/sim/pod.cc" "src/elasticrec/sim/CMakeFiles/elasticrec_sim.dir/pod.cc.o" "gcc" "src/elasticrec/sim/CMakeFiles/elasticrec_sim.dir/pod.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elasticrec/cluster/CMakeFiles/elasticrec_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/common/CMakeFiles/elasticrec_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/core/CMakeFiles/elasticrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/hw/CMakeFiles/elasticrec_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/rpc/CMakeFiles/elasticrec_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/workload/CMakeFiles/elasticrec_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/model/CMakeFiles/elasticrec_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticrec/embedding/CMakeFiles/elasticrec_embedding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

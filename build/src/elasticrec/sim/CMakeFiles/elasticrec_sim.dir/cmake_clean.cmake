@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticrec_sim.dir/cluster_sim.cc.o"
+  "CMakeFiles/elasticrec_sim.dir/cluster_sim.cc.o.d"
+  "CMakeFiles/elasticrec_sim.dir/csv.cc.o"
+  "CMakeFiles/elasticrec_sim.dir/csv.cc.o.d"
+  "CMakeFiles/elasticrec_sim.dir/event_queue.cc.o"
+  "CMakeFiles/elasticrec_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/elasticrec_sim.dir/experiment.cc.o"
+  "CMakeFiles/elasticrec_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/elasticrec_sim.dir/pod.cc.o"
+  "CMakeFiles/elasticrec_sim.dir/pod.cc.o.d"
+  "libelasticrec_sim.a"
+  "libelasticrec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticrec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

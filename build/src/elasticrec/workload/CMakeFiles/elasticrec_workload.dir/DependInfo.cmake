@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elasticrec/workload/access_distribution.cc" "src/elasticrec/workload/CMakeFiles/elasticrec_workload.dir/access_distribution.cc.o" "gcc" "src/elasticrec/workload/CMakeFiles/elasticrec_workload.dir/access_distribution.cc.o.d"
+  "/root/repo/src/elasticrec/workload/datasets.cc" "src/elasticrec/workload/CMakeFiles/elasticrec_workload.dir/datasets.cc.o" "gcc" "src/elasticrec/workload/CMakeFiles/elasticrec_workload.dir/datasets.cc.o.d"
+  "/root/repo/src/elasticrec/workload/query_generator.cc" "src/elasticrec/workload/CMakeFiles/elasticrec_workload.dir/query_generator.cc.o" "gcc" "src/elasticrec/workload/CMakeFiles/elasticrec_workload.dir/query_generator.cc.o.d"
+  "/root/repo/src/elasticrec/workload/traffic.cc" "src/elasticrec/workload/CMakeFiles/elasticrec_workload.dir/traffic.cc.o" "gcc" "src/elasticrec/workload/CMakeFiles/elasticrec_workload.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elasticrec/common/CMakeFiles/elasticrec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elasticrec_workload.dir/access_distribution.cc.o"
+  "CMakeFiles/elasticrec_workload.dir/access_distribution.cc.o.d"
+  "CMakeFiles/elasticrec_workload.dir/datasets.cc.o"
+  "CMakeFiles/elasticrec_workload.dir/datasets.cc.o.d"
+  "CMakeFiles/elasticrec_workload.dir/query_generator.cc.o"
+  "CMakeFiles/elasticrec_workload.dir/query_generator.cc.o.d"
+  "CMakeFiles/elasticrec_workload.dir/traffic.cc.o"
+  "CMakeFiles/elasticrec_workload.dir/traffic.cc.o.d"
+  "libelasticrec_workload.a"
+  "libelasticrec_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elasticrec_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

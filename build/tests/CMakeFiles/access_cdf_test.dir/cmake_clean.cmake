@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_cdf_test.dir/access_cdf_test.cpp.o"
+  "CMakeFiles/access_cdf_test.dir/access_cdf_test.cpp.o.d"
+  "access_cdf_test"
+  "access_cdf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_cdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_distribution_test.dir/access_distribution_test.cpp.o"
+  "CMakeFiles/access_distribution_test.dir/access_distribution_test.cpp.o.d"
+  "access_distribution_test"
+  "access_distribution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_distribution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

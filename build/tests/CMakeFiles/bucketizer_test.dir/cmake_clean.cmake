@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bucketizer_test.dir/bucketizer_test.cpp.o"
+  "CMakeFiles/bucketizer_test.dir/bucketizer_test.cpp.o.d"
+  "bucketizer_test"
+  "bucketizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bucketizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlrm_config_test.dir/dlrm_config_test.cpp.o"
+  "CMakeFiles/dlrm_config_test.dir/dlrm_config_test.cpp.o.d"
+  "dlrm_config_test"
+  "dlrm_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlrm_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequency_tracker_test.dir/frequency_tracker_test.cpp.o"
+  "CMakeFiles/frequency_tracker_test.dir/frequency_tracker_test.cpp.o.d"
+  "frequency_tracker_test"
+  "frequency_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequency_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

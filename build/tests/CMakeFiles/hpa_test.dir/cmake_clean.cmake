@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpa_test.dir/hpa_test.cpp.o"
+  "CMakeFiles/hpa_test.dir/hpa_test.cpp.o.d"
+  "hpa_test"
+  "hpa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

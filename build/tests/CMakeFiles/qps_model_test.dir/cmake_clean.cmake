@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qps_model_test.dir/qps_model_test.cpp.o"
+  "CMakeFiles/qps_model_test.dir/qps_model_test.cpp.o.d"
+  "qps_model_test"
+  "qps_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qps_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_table_test.dir/sharded_table_test.cpp.o"
+  "CMakeFiles/sharded_table_test.dir/sharded_table_test.cpp.o.d"
+  "sharded_table_test"
+  "sharded_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_tracker_test.dir/utility_tracker_test.cpp.o"
+  "CMakeFiles/utility_tracker_test.dir/utility_tracker_test.cpp.o.d"
+  "utility_tracker_test"
+  "utility_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
