@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# One-stop correctness gate. Runs one stage per invocation:
+#
+#   scripts/check.sh build   # RelWithDebInfo + -Werror, full ctest
+#   scripts/check.sh asan    # ASan+UBSan build, full ctest
+#   scripts/check.sh tsan    # TSan build, full ctest
+#   scripts/check.sh lint    # erec_lint + clang-tidy (if installed)
+#   scripts/check.sh all     # every stage above, in order
+#
+# Each stage uses its own build tree (build-check-<stage>) so stages
+# never poison each other's CMake cache. CI runs the same stages; see
+# .github/workflows/ci.yml and scripts/ci.sh.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+configure_build_test() {
+    local tree="$1"
+    shift
+    cmake -B "$tree" -S "$repo_root" "$@"
+    cmake --build "$tree" -j "$jobs"
+    ctest --test-dir "$tree" --output-on-failure -j "$jobs"
+}
+
+stage_build() {
+    configure_build_test "$repo_root/build-check-release" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DELASTICREC_WERROR=ON
+}
+
+stage_asan() {
+    configure_build_test "$repo_root/build-check-asan" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DELASTICREC_SANITIZE="address;undefined"
+}
+
+stage_tsan() {
+    configure_build_test "$repo_root/build-check-tsan" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DELASTICREC_SANITIZE=thread
+}
+
+stage_lint() {
+    local tree="$repo_root/build-check-release"
+    cmake -B "$tree" -S "$repo_root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DELASTICREC_WERROR=ON
+    cmake --build "$tree" -j "$jobs" --target lint
+}
+
+stage="${1:-all}"
+case "$stage" in
+  build) stage_build ;;
+  asan) stage_asan ;;
+  tsan) stage_tsan ;;
+  lint) stage_lint ;;
+  all)
+    stage_build
+    stage_asan
+    stage_tsan
+    stage_lint
+    ;;
+  *)
+    echo "usage: check.sh [build|asan|tsan|lint|all]" >&2
+    exit 2
+    ;;
+esac
+echo "check.sh: stage '$stage' passed"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI matrix: the same three gates .github/workflows/ci.yml runs,
+# sequentially, stopping at the first failure. Use this when iterating
+# without a GitHub runner.
+set -euo pipefail
+
+here="$(cd "$(dirname "$0")" && pwd)"
+
+echo "=== CI job 1/3: RelWithDebInfo + -Werror + ctest ==="
+"$here/check.sh" build
+
+echo "=== CI job 2/3: ASan+UBSan + ctest ==="
+"$here/check.sh" asan
+
+echo "=== CI job 3/3: TSan + ctest, then lint ==="
+"$here/check.sh" tsan
+"$here/check.sh" lint
+
+echo "=== CI matrix green ==="

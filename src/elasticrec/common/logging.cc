@@ -2,6 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
+#include <utility>
+
+#include "elasticrec/common/thread_annotations.h"
 
 namespace erec {
 
@@ -9,8 +13,16 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Info};
 
+/** Serializes sink replacement and record emission. */
+std::mutex g_sinkMutex;
+
+/** Installed sink; falls back to stderr when empty. */
+LogSink g_sink ERC_GUARDED_BY(g_sinkMutex);
+
+} // namespace
+
 const char *
-levelName(LogLevel level)
+logLevelName(LogLevel level)
 {
     switch (level) {
       case LogLevel::Debug: return "DEBUG";
@@ -21,8 +33,6 @@ levelName(LogLevel level)
     }
     return "?";
 }
-
-} // namespace
 
 void
 setLogLevel(LogLevel level)
@@ -37,11 +47,23 @@ logLevel()
 }
 
 void
+setLogSink(LogSink sink)
+{
+    const std::lock_guard<std::mutex> lock(g_sinkMutex);
+    g_sink = std::move(sink);
+}
+
+void
 logMessage(LogLevel level, const std::string &msg)
 {
     if (static_cast<int>(level) < static_cast<int>(logLevel()))
         return;
-    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+    const std::lock_guard<std::mutex> lock(g_sinkMutex);
+    if (g_sink) {
+        g_sink(level, msg);
+        return;
+    }
+    std::fprintf(stderr, "[%s] %s\n", logLevelName(level), msg.c_str());
 }
 
 } // namespace erec

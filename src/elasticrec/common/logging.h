@@ -8,6 +8,7 @@
  * the level to Warn to keep output clean, examples use Info.
  */
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -21,8 +22,22 @@ void setLogLevel(LogLevel level);
 /** Current global log level. */
 LogLevel logLevel();
 
+/** Receives every emitted record (already level-filtered). */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Replace the global sink (default: one line per record on stderr).
+ * Pass nullptr to restore the default. Sink installation and every
+ * record emission are serialized by an internal mutex, so concurrent
+ * logMessage() calls never interleave within one record.
+ */
+void setLogSink(LogSink sink);
+
 /** Emit a log record (no-op if below the global level). */
 void logMessage(LogLevel level, const std::string &msg);
+
+/** Printable name of a level ("DEBUG", "INFO", ...). */
+const char *logLevelName(LogLevel level);
 
 namespace detail {
 

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for common/error.h: the ConfigError/InternalError taxonomy,
+ * erec::fatal / erec::panic, and the ERC_CHECK / ERC_ASSERT macros
+ * (message streaming, location stamping, evaluation discipline).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "elasticrec/common/error.h"
+
+namespace erec {
+namespace {
+
+TEST(ErrorTest, CheckPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(ERC_CHECK(1 + 1 == 2, "fine"));
+    EXPECT_NO_THROW(ERC_ASSERT(true, "ok"));
+}
+
+TEST(ErrorTest, CheckThrowsConfigError)
+{
+    try {
+        ERC_CHECK(false, "the message " << 7);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("the message 7"), std::string::npos);
+        EXPECT_NE(what.find("false"), std::string::npos);
+        EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(ErrorTest, AssertThrowsInternalError)
+{
+    try {
+        ERC_ASSERT(2 < 1, "broken invariant: x=" << 42);
+        FAIL() << "expected InternalError";
+    } catch (const InternalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("broken invariant: x=42"), std::string::npos);
+        EXPECT_NE(what.find("2 < 1"), std::string::npos);
+        EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(ErrorTest, FatalAndPanicTypes)
+{
+    EXPECT_THROW(fatal("user error"), ConfigError);
+    EXPECT_THROW(panic("library bug"), InternalError);
+    // ConfigError is a runtime_error; InternalError is a logic_error,
+    // so the two families stay distinguishable at catch sites.
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+    EXPECT_THROW(panic("x"), std::logic_error);
+}
+
+TEST(ErrorTest, MessagesCarryTypePrefix)
+{
+    try {
+        fatal("bad qps");
+        FAIL();
+    } catch (const ConfigError &e) {
+        EXPECT_EQ(std::string(e.what()), "ConfigError: bad qps");
+    }
+    try {
+        panic("bad state");
+        FAIL();
+    } catch (const InternalError &e) {
+        EXPECT_EQ(std::string(e.what()), "InternalError: bad state");
+    }
+}
+
+TEST(ErrorTest, CheckEvaluatesConditionExactlyOnce)
+{
+    int evals = 0;
+    auto counted = [&evals]() {
+        ++evals;
+        return true;
+    };
+    ERC_CHECK(counted(), "never thrown");
+    EXPECT_EQ(evals, 1);
+    evals = 0;
+    ERC_ASSERT(counted(), "never thrown");
+    EXPECT_EQ(evals, 1);
+}
+
+TEST(ErrorTest, CheckSkipsMessageWhenConditionHolds)
+{
+    int msg_evals = 0;
+    auto stamp = [&msg_evals]() {
+        ++msg_evals;
+        return "msg";
+    };
+    ERC_CHECK(true, stamp());
+    EXPECT_EQ(msg_evals, 0);
+}
+
+TEST(ErrorTest, ErrorsAreCatchableAsStdException)
+{
+    try {
+        ERC_CHECK(false, "via base");
+        FAIL();
+    } catch (const std::exception &e) {
+        EXPECT_NE(std::string(e.what()).find("via base"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace erec

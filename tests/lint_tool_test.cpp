@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the repo linter's rule engine (tools/lint/lint_core): each
+ * rule must fire on a seeded violation, stay quiet on the blessed
+ * idioms, respect file classes and honor allow() suppressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint_core.h"
+
+namespace erec::lint {
+namespace {
+
+bool
+hasRule(const std::vector<Diagnostic> &diags, const std::string &rule)
+{
+    return std::any_of(diags.begin(), diags.end(),
+                       [&rule](const Diagnostic &d) {
+                           return d.rule == rule;
+                       });
+}
+
+TEST(LintToolTest, ClassifiesPathsByTopLevelDirectory)
+{
+    EXPECT_EQ(classifyPath("src/elasticrec/core/planner.cc"),
+              FileClass::LibrarySource);
+    EXPECT_EQ(classifyPath("/root/repo/src/elasticrec/core/planner.h"),
+              FileClass::LibraryHeader);
+    EXPECT_EQ(classifyPath("tests/planner_test.cpp"),
+              FileClass::TestSource);
+    EXPECT_EQ(classifyPath("bench/bench_util.h"), FileClass::BenchSource);
+    EXPECT_EQ(classifyPath("examples/quickstart.cpp"),
+              FileClass::ExampleSource);
+    EXPECT_EQ(classifyPath("docs/notes.md"), FileClass::Skip);
+    EXPECT_EQ(classifyPath("src/elasticrec/core/CMakeLists.txt"),
+              FileClass::Skip);
+}
+
+TEST(LintToolTest, RawThrowCaughtInLibraryCode)
+{
+    const std::string bad = "void f() { throw 1; }\n";
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.cc", bad),
+                        "raw-throw"));
+    // Allowed in its blessed home and outside the library.
+    EXPECT_FALSE(hasRule(lintContent("src/elasticrec/common/error.h",
+                                     "#pragma once\nnamespace erec {}\n" +
+                                         bad),
+                         "raw-throw"));
+    EXPECT_FALSE(hasRule(lintContent("tests/a_test.cpp", bad),
+                         "raw-throw"));
+}
+
+TEST(LintToolTest, ThrowInCommentsAndStringsIgnored)
+{
+    const std::string ok =
+        "// this function throws via erec::fatal\n"
+        "/* never throw raw */\n"
+        "const char *s = \"throw\";\n";
+    EXPECT_FALSE(hasRule(lintContent("src/elasticrec/x/a.cc", ok),
+                         "raw-throw"));
+}
+
+TEST(LintToolTest, UnseededRandomnessCaughtEverywhere)
+{
+    for (const char *path :
+         {"src/elasticrec/x/a.cc", "tests/a_test.cpp", "bench/b.cpp",
+          "examples/e.cpp"}) {
+        EXPECT_TRUE(hasRule(
+            lintContent(path, "int x = std::rand();\n"),
+            "unseeded-random"))
+            << path;
+    }
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.cc",
+                                    "std::random_device rd;\n"),
+                        "unseeded-random"));
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.cc",
+                                    "auto t = time(nullptr);\n"),
+                        "unseeded-random"));
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.cc",
+                                    "srand(42);\n"),
+                        "unseeded-random"));
+    // The seeded-RNG home is exempt; erec::Rng usage is fine anywhere.
+    EXPECT_FALSE(hasRule(lintContent("src/elasticrec/common/rng.cc",
+                                     "std::random_device rd;\n"),
+                         "unseeded-random"));
+    EXPECT_FALSE(hasRule(lintContent("src/elasticrec/x/a.cc",
+                                     "Rng rng(7); rng.uniform();\n"),
+                         "unseeded-random"));
+}
+
+TEST(LintToolTest, IostreamOnlyOutsideLibrary)
+{
+    const std::string inc = "#include <iostream>\n";
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.cc", inc),
+                        "iostream-in-library"));
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.cc",
+                                    "std::cerr << 1;\n"),
+                        "iostream-in-library"));
+    EXPECT_FALSE(hasRule(lintContent("examples/demo.cpp", inc),
+                         "iostream-in-library"));
+    EXPECT_FALSE(hasRule(lintContent("bench/b.cpp", inc),
+                         "iostream-in-library"));
+}
+
+TEST(LintToolTest, HeaderHygiene)
+{
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.h",
+                                    "namespace erec {}\n"),
+                        "header-pragma-once"));
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.h",
+                                    "#pragma once\nint x;\n"),
+                        "header-namespace"));
+    const std::string good =
+        "// comment first is fine\n#pragma once\nnamespace erec {}\n";
+    const auto diags = lintContent("src/elasticrec/x/a.h", good);
+    EXPECT_FALSE(hasRule(diags, "header-pragma-once"));
+    EXPECT_FALSE(hasRule(diags, "header-namespace"));
+    // Non-library headers need the pragma but not the namespace.
+    EXPECT_TRUE(hasRule(lintContent("bench/util.h", "int x;\n"),
+                        "header-pragma-once"));
+    EXPECT_FALSE(hasRule(lintContent("bench/util.h", "int x;\n"),
+                         "header-namespace"));
+}
+
+TEST(LintToolTest, AllowCommentSuppresses)
+{
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.cc",
+                    "throw 1; // erec-lint: allow(raw-throw)\n"),
+        "raw-throw"));
+    // Suppressing one rule does not blanket-suppress others.
+    EXPECT_TRUE(hasRule(
+        lintContent("src/elasticrec/x/a.cc",
+                    "throw std::rand(); // erec-lint: allow(raw-throw)\n"),
+        "unseeded-random"));
+    // File-scoped suppression for the header rules.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/macros.h",
+                    "#pragma once\n// erec-lint: allow(header-namespace)\n"
+                    "#define FOO 1\n"),
+        "header-namespace"));
+}
+
+TEST(LintToolTest, DiagnosticsCarryLocation)
+{
+    const auto diags = lintContent("src/elasticrec/x/a.cc",
+                                   "int a;\nthrow 1;\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].line, 2);
+    EXPECT_EQ(diags[0].rule, "raw-throw");
+    EXPECT_NE(formatDiagnostic(diags[0]).find("a.cc:2: [raw-throw]"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace erec::lint

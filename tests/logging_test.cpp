@@ -1,15 +1,43 @@
 /**
  * @file
- * Tests for the logging facility and the error-handling macros.
+ * Tests for the logging facility: level filtering, the streaming
+ * LogLine interface, and the pluggable mutex-guarded sink.
+ * (Error-macro coverage lives in error_test.cpp.)
  */
 
 #include <gtest/gtest.h>
 
-#include "elasticrec/common/error.h"
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "elasticrec/common/logging.h"
 
 namespace erec {
 namespace {
+
+/** Installs a capturing sink for the test's lifetime. */
+class SinkCapture
+{
+  public:
+    SinkCapture()
+    {
+        setLogSink([this](LogLevel level, const std::string &msg) {
+            records_.emplace_back(level, msg);
+        });
+    }
+
+    ~SinkCapture() { setLogSink(nullptr); }
+
+    const std::vector<std::pair<LogLevel, std::string>> &
+    records() const
+    {
+        return records_;
+    }
+
+  private:
+    std::vector<std::pair<LogLevel, std::string>> records_;
+};
 
 TEST(LoggingTest, LevelRoundTrip)
 {
@@ -30,33 +58,44 @@ TEST(LoggingTest, LogLineStreamsWithoutCrashing)
     setLogLevel(before);
 }
 
-TEST(ErrorTest, CheckThrowsConfigError)
+TEST(LoggingTest, SinkReceivesFilteredRecords)
 {
-    EXPECT_NO_THROW(ERC_CHECK(1 + 1 == 2, "fine"));
-    try {
-        ERC_CHECK(false, "the message " << 7);
-        FAIL() << "expected ConfigError";
-    } catch (const ConfigError &e) {
-        const std::string what = e.what();
-        EXPECT_NE(what.find("the message 7"), std::string::npos);
-        EXPECT_NE(what.find("false"), std::string::npos);
-        EXPECT_NE(what.find("logging_test.cpp"), std::string::npos);
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Warn);
+    {
+        SinkCapture capture;
+        ERC_LOG_DEBUG << "dropped";
+        ERC_LOG_INFO << "dropped too";
+        ERC_LOG_WARN << "kept " << 1;
+        ERC_LOG_ERROR << "kept " << 2;
+        ASSERT_EQ(capture.records().size(), 2u);
+        EXPECT_EQ(capture.records()[0].first, LogLevel::Warn);
+        EXPECT_EQ(capture.records()[0].second, "kept 1");
+        EXPECT_EQ(capture.records()[1].first, LogLevel::Error);
+        EXPECT_EQ(capture.records()[1].second, "kept 2");
     }
+    setLogLevel(before);
 }
 
-TEST(ErrorTest, AssertThrowsInternalError)
+TEST(LoggingTest, ResettingSinkRestoresStderrPath)
 {
-    EXPECT_NO_THROW(ERC_ASSERT(true, "ok"));
-    EXPECT_THROW(ERC_ASSERT(false, "bug"), InternalError);
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Off);
+    {
+        SinkCapture capture;
+    }
+    // Sink removed; this must not reach a dangling capture vector.
+    ERC_LOG_ERROR << "after reset";
+    setLogLevel(before);
 }
 
-TEST(ErrorTest, FatalAndPanicTypes)
+TEST(LoggingTest, LevelNames)
 {
-    EXPECT_THROW(fatal("user error"), ConfigError);
-    EXPECT_THROW(panic("library bug"), InternalError);
-    // ConfigError is a runtime_error; InternalError is a logic_error.
-    EXPECT_THROW(fatal("x"), std::runtime_error);
-    EXPECT_THROW(panic("x"), std::logic_error);
+    EXPECT_STREQ(logLevelName(LogLevel::Debug), "DEBUG");
+    EXPECT_STREQ(logLevelName(LogLevel::Info), "INFO");
+    EXPECT_STREQ(logLevelName(LogLevel::Warn), "WARN");
+    EXPECT_STREQ(logLevelName(LogLevel::Error), "ERROR");
+    EXPECT_STREQ(logLevelName(LogLevel::Off), "OFF");
 }
 
 } // namespace

@@ -179,8 +179,9 @@ TEST(PlannerTest, DenseShardUsesGpuOnGpuPlatform)
     const auto plan = gpu.planElasticRec({sim::cdfFor(smallConfig())});
     EXPECT_TRUE(plan.frontendShard().usesGpu);
     for (const auto &s : plan.shards) {
-        if (s.kind == ShardKind::SparseEmbedding)
+        if (s.kind == ShardKind::SparseEmbedding) {
             EXPECT_FALSE(s.usesGpu);
+        }
     }
 }
 

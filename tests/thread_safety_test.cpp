@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Concurrency tests for the mutex-protected state introduced with the
+ * thread-annotation layer: the logging sink and the node registry.
+ * These mostly exist to give TSan builds (-DELASTICREC_SANITIZE=thread)
+ * real cross-thread traffic to check; single-threaded correctness is
+ * covered by logging_test.cpp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/common/logging.h"
+#include "elasticrec/hw/platform.h"
+
+namespace erec {
+namespace {
+
+TEST(ThreadSafetyTest, ConcurrentLoggingThroughSink)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Info);
+    std::atomic<std::size_t> records{0};
+    std::atomic<std::size_t> bytes{0};
+    setLogSink([&records, &bytes](LogLevel, const std::string &msg) {
+        // Touch the payload so a torn message is visible to TSan.
+        bytes.fetch_add(msg.size(), std::memory_order_relaxed);
+        records.fetch_add(1, std::memory_order_relaxed);
+    });
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 200;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < kPerThread; ++i)
+                ERC_LOG_INFO << "t" << t << "-i" << i;
+        });
+    }
+    // Churn the level and the sink's serialization from the main thread
+    // while workers log.
+    for (int i = 0; i < 100; ++i)
+        setLogLevel(LogLevel::Info);
+    for (auto &th : threads)
+        th.join();
+
+    setLogSink(nullptr);
+    setLogLevel(before);
+    EXPECT_EQ(records.load(), static_cast<std::size_t>(kThreads) *
+                                  kPerThread);
+    EXPECT_GT(bytes.load(), 0u);
+}
+
+TEST(ThreadSafetyTest, ConcurrentRegistryReadersAndWriters)
+{
+    auto &registry = hw::NodeRegistry::instance();
+    constexpr int kWriters = 4;
+    constexpr int kReaders = 4;
+    constexpr int kOps = 200;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kWriters + kReaders);
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&registry, w] {
+            for (int i = 0; i < kOps; ++i) {
+                auto spec = hw::cpuOnlyNode();
+                spec.costUnits = w + i * 0.001;
+                registry.registerNode(
+                    "tsan-node-" + std::to_string(w), spec);
+            }
+        });
+    }
+    for (int r = 0; r < kReaders; ++r) {
+        threads.emplace_back([&registry] {
+            for (int i = 0; i < kOps; ++i) {
+                if (registry.hasNode("cpu"))
+                    (void)registry.nodeByName("cpu");
+                (void)registry.nodeNames();
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    for (int w = 0; w < kWriters; ++w)
+        EXPECT_TRUE(registry.hasNode("tsan-node-" + std::to_string(w)));
+    EXPECT_EQ(registry.nodeByName("cpu").name, "xeon6242-dual");
+}
+
+TEST(ThreadSafetyTest, RegistryPreSeededWithPaperPlatforms)
+{
+    EXPECT_EQ(hw::nodeByName("cpu").name, "xeon6242-dual");
+    EXPECT_EQ(hw::nodeByName("cpu-gpu").name, "n1-standard-32-t4");
+    EXPECT_THROW(hw::nodeByName("no-such-platform"), ConfigError);
+}
+
+} // namespace
+} // namespace erec

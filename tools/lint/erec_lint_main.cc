@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Command-line driver of the repo linter: walks the directories given
+ * as arguments, lints every C++ source/header against the rules in
+ * lint_core.h, prints diagnostics and exits non-zero if any were found.
+ *
+ * Usage: erec_lint <dir-or-file>...
+ */
+
+#include "tools/lint/lint_core.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+bool
+isCxxFile(const fs::path &path)
+{
+    const auto ext = path.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".h" || ext == ".hpp";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: erec_lint <dir-or-file>...\n";
+        return 2;
+    }
+
+    std::vector<fs::path> files;
+    for (int i = 1; i < argc; ++i) {
+        const fs::path root(argv[i]);
+        if (fs::is_regular_file(root)) {
+            files.push_back(root);
+            continue;
+        }
+        if (!fs::is_directory(root)) {
+            std::cerr << "erec_lint: no such file or directory: " << root
+                      << "\n";
+            return 2;
+        }
+        for (const auto &entry : fs::recursive_directory_iterator(root)) {
+            if (entry.is_regular_file() && isCxxFile(entry.path()))
+                files.push_back(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    int violations = 0;
+    for (const auto &file : files) {
+        const auto diags =
+            erec::lint::lintContent(file.generic_string(), readFile(file));
+        for (const auto &d : diags) {
+            std::cerr << erec::lint::formatDiagnostic(d) << "\n";
+            ++violations;
+        }
+    }
+
+    if (violations > 0) {
+        std::cerr << "erec_lint: " << violations << " violation"
+                  << (violations == 1 ? "" : "s") << " in " << files.size()
+                  << " files\n";
+        return 1;
+    }
+    std::cout << "erec_lint: " << files.size() << " files clean\n";
+    return 0;
+}

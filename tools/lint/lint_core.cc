@@ -1,0 +1,362 @@
+#include "tools/lint/lint_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace erec::lint {
+
+namespace {
+
+/** True when `path` contains `component` as a whole directory name. */
+bool
+hasDirComponent(const std::string &path, const std::string &component)
+{
+    std::size_t pos = 0;
+    while ((pos = path.find(component, pos)) != std::string::npos) {
+        const bool at_start = pos == 0 || path[pos - 1] == '/';
+        const std::size_t end = pos + component.size();
+        const bool at_end = end < path.size() && path[end] == '/';
+        if (at_start && at_end)
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool
+isHeaderPath(const std::string &path)
+{
+    return endsWith(path, ".h") || endsWith(path, ".hpp");
+}
+
+/** Split into lines; the trailing newline does not open an empty line. */
+std::vector<std::string>
+splitLines(const std::string &content)
+{
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start <= content.size()) {
+        std::size_t nl = content.find('\n', start);
+        if (nl == std::string::npos) {
+            if (start < content.size())
+                lines.push_back(content.substr(start));
+            break;
+        }
+        lines.push_back(content.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return lines;
+}
+
+/** Rules suppressed via "erec-lint: allow(rule)" markers. */
+struct Suppressions
+{
+    /** line number (1-based) -> rules allowed on that line. */
+    std::vector<std::vector<std::string>> perLine;
+    /** Rules allowed anywhere in the file (file-scoped rules only). */
+    std::vector<std::string> fileWide;
+
+    bool
+    allows(int line, const std::string &rule) const
+    {
+        const auto &rules = perLine[static_cast<std::size_t>(line - 1)];
+        return std::find(rules.begin(), rules.end(), rule) != rules.end();
+    }
+
+    bool
+    allowsFileWide(const std::string &rule) const
+    {
+        return std::find(fileWide.begin(), fileWide.end(), rule) !=
+               fileWide.end();
+    }
+};
+
+Suppressions
+collectSuppressions(const std::vector<std::string> &raw_lines)
+{
+    static const std::regex kAllow(
+        R"(erec-lint:\s*allow\(([A-Za-z0-9_-]+)\))");
+    Suppressions sup;
+    sup.perLine.resize(raw_lines.size());
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+        auto begin = std::sregex_iterator(raw_lines[i].begin(),
+                                          raw_lines[i].end(), kAllow);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            sup.perLine[i].push_back((*it)[1].str());
+            sup.fileWide.push_back((*it)[1].str());
+        }
+    }
+    return sup;
+}
+
+struct LineRule
+{
+    std::string name;
+    std::regex pattern;
+    std::string message;
+    /** File classes the rule applies to. */
+    std::vector<FileClass> classes;
+    /** Path suffixes exempt from the rule (the blessed home of the
+     *  construct, e.g. common/error.h for `throw`). */
+    std::vector<std::string> exemptSuffixes;
+};
+
+const std::vector<LineRule> &
+lineRules()
+{
+    static const std::vector<LineRule> kRules = {
+        {
+            "raw-throw",
+            std::regex(R"(\bthrow\b)"),
+            "raw `throw` in library code; use erec::fatal/panic or "
+            "ERC_CHECK/ERC_ASSERT from elasticrec/common/error.h",
+            {FileClass::LibrarySource, FileClass::LibraryHeader},
+            {"common/error.h"},
+        },
+        {
+            "unseeded-random",
+            std::regex(R"(\bstd\s*::\s*rand\b|\bsrand\s*\()"
+                       R"(|\brandom_device\b)"
+                       R"(|\btime\s*\(\s*(nullptr|NULL)\s*\))"),
+            "unseeded randomness breaks experiment reproducibility; "
+            "draw from a seeded erec::Rng (elasticrec/common/rng.h)",
+            {FileClass::LibrarySource, FileClass::LibraryHeader,
+             FileClass::TestSource, FileClass::BenchSource,
+             FileClass::ExampleSource},
+            {"common/rng.h", "common/rng.cc"},
+        },
+        {
+            "iostream-in-library",
+            std::regex(R"(^\s*#\s*include\s*<iostream>)"
+                       R"(|\bstd\s*::\s*(cout|cerr|clog)\b)"),
+            "library code must log through elasticrec/common/logging.h, "
+            "not <iostream>",
+            {FileClass::LibrarySource, FileClass::LibraryHeader},
+            {},
+        },
+    };
+    return kRules;
+}
+
+bool
+ruleApplies(const LineRule &rule, FileClass cls, const std::string &path)
+{
+    if (std::find(rule.classes.begin(), rule.classes.end(), cls) ==
+        rule.classes.end()) {
+        return false;
+    }
+    for (const auto &suffix : rule.exemptSuffixes) {
+        if (endsWith(path, suffix))
+            return false;
+    }
+    return true;
+}
+
+/** First non-blank line of stripped content, with its line number. */
+std::pair<std::string, int>
+firstCodeLine(const std::vector<std::string> &stripped_lines)
+{
+    for (std::size_t i = 0; i < stripped_lines.size(); ++i) {
+        const auto &line = stripped_lines[i];
+        if (std::any_of(line.begin(), line.end(), [](unsigned char c) {
+                return !std::isspace(c);
+            })) {
+            return {line, static_cast<int>(i + 1)};
+        }
+    }
+    return {"", 0};
+}
+
+} // namespace
+
+FileClass
+classifyPath(const std::string &path)
+{
+    const bool source = endsWith(path, ".cc") || endsWith(path, ".cpp");
+    if (!source && !isHeaderPath(path))
+        return FileClass::Skip;
+    if (hasDirComponent(path, "src"))
+        return isHeaderPath(path) ? FileClass::LibraryHeader
+                                  : FileClass::LibrarySource;
+    if (hasDirComponent(path, "tests"))
+        return FileClass::TestSource;
+    if (hasDirComponent(path, "bench"))
+        return FileClass::BenchSource;
+    if (hasDirComponent(path, "examples"))
+        return FileClass::ExampleSource;
+    return FileClass::Skip;
+}
+
+std::string
+stripCommentsAndStrings(const std::string &content)
+{
+    std::string out;
+    out.reserve(content.size());
+    enum class State { Code, LineComment, BlockComment, String, Char };
+    State state = State::Code;
+
+    auto emit = [&out](char c) {
+        out.push_back(c == '\n' || c == '\t' ? c : ' ');
+    };
+
+    std::size_t i = 0;
+    const std::size_t n = content.size();
+    while (i < n) {
+        const char c = content[i];
+        const char next = i + 1 < n ? content[i + 1] : '\0';
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                emit(c);
+                emit(next);
+                i += 2;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                emit(c);
+                emit(next);
+                i += 2;
+            } else if (c == 'R' && next == '"' &&
+                       (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                       content[i - 1])) &&
+                                   content[i - 1] != '_'))) {
+                // Raw string literal: R"delim( ... )delim"
+                std::size_t paren = content.find('(', i + 2);
+                if (paren == std::string::npos) {
+                    emit(c);
+                    ++i;
+                    break;
+                }
+                const std::string delim =
+                    content.substr(i + 2, paren - (i + 2));
+                const std::string closer = ")" + delim + "\"";
+                std::size_t close = content.find(closer, paren + 1);
+                const std::size_t end = close == std::string::npos
+                                            ? n
+                                            : close + closer.size();
+                for (; i < end; ++i)
+                    emit(content[i]);
+            } else if (c == '"') {
+                state = State::String;
+                emit(c);
+                ++i;
+            } else if (c == '\'') {
+                state = State::Char;
+                emit(c);
+                ++i;
+            } else {
+                out.push_back(c);
+                ++i;
+            }
+            break;
+          case State::LineComment:
+            if (c == '\n')
+                state = State::Code;
+            emit(c);
+            ++i;
+            break;
+          case State::BlockComment:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                emit(c);
+                emit(next);
+                i += 2;
+            } else {
+                emit(c);
+                ++i;
+            }
+            break;
+          case State::String:
+          case State::Char: {
+            const char quote = state == State::String ? '"' : '\'';
+            if (c == '\\' && i + 1 < n) {
+                emit(c);
+                emit(next);
+                i += 2;
+            } else {
+                if (c == quote)
+                    state = State::Code;
+                emit(c);
+                ++i;
+            }
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+std::vector<Diagnostic>
+lintContent(const std::string &path, const std::string &content)
+{
+    std::vector<Diagnostic> diags;
+    const FileClass cls = classifyPath(path);
+    if (cls == FileClass::Skip)
+        return diags;
+
+    const auto raw_lines = splitLines(content);
+    const auto stripped_lines = splitLines(stripCommentsAndStrings(content));
+    const auto sup = collectSuppressions(raw_lines);
+
+    for (const auto &rule : lineRules()) {
+        if (!ruleApplies(rule, cls, path))
+            continue;
+        for (std::size_t i = 0; i < stripped_lines.size(); ++i) {
+            const int line_no = static_cast<int>(i + 1);
+            if (!std::regex_search(stripped_lines[i], rule.pattern))
+                continue;
+            if (sup.allows(line_no, rule.name))
+                continue;
+            diags.push_back({path, line_no, rule.name, rule.message});
+        }
+    }
+
+    if (isHeaderPath(path)) {
+        const auto [first, line_no] = firstCodeLine(stripped_lines);
+        static const std::regex kPragmaOnce(
+            R"(^\s*#\s*pragma\s+once\s*$)");
+        if (!std::regex_search(first, kPragmaOnce) &&
+            !sup.allowsFileWide("header-pragma-once")) {
+            diags.push_back({path, std::max(line_no, 1),
+                             "header-pragma-once",
+                             "headers must start with #pragma once"});
+        }
+    }
+
+    if (cls == FileClass::LibraryHeader) {
+        static const std::regex kNamespace(R"(\bnamespace\s+erec\b)");
+        bool found = false;
+        for (const auto &line : stripped_lines) {
+            if (std::regex_search(line, kNamespace)) {
+                found = true;
+                break;
+            }
+        }
+        if (!found && !sup.allowsFileWide("header-namespace")) {
+            diags.push_back({path, 1, "header-namespace",
+                             "library headers must declare their "
+                             "contents inside namespace erec"});
+        }
+    }
+
+    return diags;
+}
+
+std::string
+formatDiagnostic(const Diagnostic &d)
+{
+    std::ostringstream oss;
+    oss << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message;
+    return oss.str();
+}
+
+} // namespace erec::lint

@@ -1,0 +1,73 @@
+#pragma once
+
+/**
+ * @file
+ * Rule engine of the repo-specific linter (see tools/lint/README in the
+ * top-level README's "Correctness tooling" section).
+ *
+ * The rules encode invariants of this codebase that clang-tidy cannot
+ * express:
+ *
+ *  - raw-throw: library code must raise errors through erec::fatal /
+ *    erec::panic / ERC_CHECK / ERC_ASSERT (common/error.h), never a raw
+ *    `throw`, so every error carries the ConfigError/InternalError
+ *    taxonomy and uniform message formatting.
+ *  - unseeded-random: no std::rand, srand, std::random_device or
+ *    time(nullptr) anywhere outside common/rng.* — all stochastic code
+ *    draws from the seeded erec::Rng so experiments are reproducible.
+ *  - iostream-in-library: library code logs through common/logging.h;
+ *    #include <iostream> is only allowed in tests, benches, examples
+ *    and tools.
+ *  - header-pragma-once: every header starts with #pragma once.
+ *  - header-namespace: library headers declare namespace erec.
+ *
+ * A violation line can be suppressed with a trailing comment:
+ *     // erec-lint: allow(<rule>)
+ * The two header-* rules are file-scoped; their allow() marker may sit
+ * on any line of the file.
+ */
+
+#include <string>
+#include <vector>
+
+namespace erec::lint {
+
+/** One rule violation at a source location. */
+struct Diagnostic
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** Which rule set applies to a file, derived from its repo path. */
+enum class FileClass
+{
+    LibrarySource, //!< src/**.cc — all rules.
+    LibraryHeader, //!< src/**.h — all rules + header-namespace.
+    TestSource,    //!< tests/** — determinism rules only.
+    BenchSource,   //!< bench/** — determinism rules only.
+    ExampleSource, //!< examples/** — determinism rules only.
+    Skip,          //!< Anything else (third-party, build trees, docs).
+};
+
+/** Classify a path by its directory components and extension. */
+FileClass classifyPath(const std::string &path);
+
+/**
+ * Blank out comments, string literals and char literals (raw strings
+ * included), preserving newlines so diagnostics keep exact line
+ * numbers. Rules match against the stripped text; suppression markers
+ * are collected from the raw text first.
+ */
+std::string stripCommentsAndStrings(const std::string &content);
+
+/** Lint one file's content. `path` is repo-relative or absolute. */
+std::vector<Diagnostic> lintContent(const std::string &path,
+                                    const std::string &content);
+
+/** Format a diagnostic as "file:line: [rule] message". */
+std::string formatDiagnostic(const Diagnostic &d);
+
+} // namespace erec::lint
