@@ -16,7 +16,7 @@
 using namespace erec;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::quietLogs();
     bench::banner("Ablation: bursty random-walk traffic (RM1, "
@@ -28,10 +28,12 @@ main()
     const SimTime duration = 20 * units::kMinute;
     const auto traffic = workload::TrafficPattern::randomWalk(
         40.0, 15.0, 110.0, 90 * units::kSecond, duration, 5);
+    const std::string metrics_dir = bench::metricsOutDir(argc, argv);
 
     const auto plans = bench::makePlans(config, node);
     sim::SimOptions opt;
     opt.seed = 21;
+    opt.traceSampleEvery = metrics_dir.empty() ? 0 : 100;
 
     TablePrinter t({"policy", "completed", "SLA violations",
                     "violation %", "p95 ms", "peak mem GiB",
@@ -39,6 +41,8 @@ main()
     for (const auto &plan : {plans.elasticRec, plans.modelWise}) {
         sim::ClusterSimulation sim(plan, node, traffic, opt);
         const auto r = sim.run(duration);
+        bench::exportSimMetrics(metrics_dir,
+                                "bursty_" + plan.policy, sim);
         t.addRow({plan.policy,
                   TablePrinter::num(
                       static_cast<std::int64_t>(r.completed)),

@@ -27,16 +27,20 @@ struct Outcome
 
 Outcome
 runWithFailure(const core::DeploymentPlan &plan,
-               const hw::NodeSpec &node, const std::string &victim)
+               const hw::NodeSpec &node, const std::string &victim,
+               const std::string &metrics_dir)
 {
     const double target = 60.0;
     sim::SimOptions opt;
     opt.seed = 11;
+    opt.traceSampleEvery = metrics_dir.empty() ? 0 : 100;
     sim::ClusterSimulation sim(
         plan, node, workload::TrafficPattern::constant(target), opt);
     const SimTime crash_at = 3 * units::kMinute;
     sim.injectPodFailure(victim, crash_at, 1);
     const auto r = sim.run(10 * units::kMinute);
+    bench::exportSimMetrics(metrics_dir, "failure_" + plan.policy,
+                            sim);
 
     // Recovery time: last sample after the crash where achieved QPS
     // is below 90% of target.
@@ -58,7 +62,7 @@ runWithFailure(const core::DeploymentPlan &plan,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::quietLogs();
     bench::banner("Ablation: pod-failure resilience (RM1, CPU-only, "
@@ -69,11 +73,12 @@ main()
     const auto config = model::rm1();
     const auto node = hw::cpuOnlyNode();
     const auto plans = bench::makePlans(config, node);
+    const std::string metrics_dir = bench::metricsOutDir(argc, argv);
 
     const auto er =
-        runWithFailure(plans.elasticRec, node, "dense");
-    const auto mw =
-        runWithFailure(plans.modelWise, node, "model-wise");
+        runWithFailure(plans.elasticRec, node, "dense", metrics_dir);
+    const auto mw = runWithFailure(plans.modelWise, node, "model-wise",
+                                   metrics_dir);
 
     TablePrinter t({"policy", "crashed pod reload", "lost queries",
                     "SLA violations", "worst p95 ms",

@@ -31,11 +31,12 @@ main()
     for (auto policy :
          {cluster::LbPolicy::RoundRobin, cluster::LbPolicy::LeastLoaded,
           cluster::LbPolicy::PowerOfTwoChoices}) {
-        sim::SimOptions opt;
-        opt.seed = 31;
-        opt.lbPolicy = policy;
-        const auto result = sim::runSteadyState(
-            plans.elasticRec, node, 90.0, 120 * units::kSecond, opt);
+        sim::ExperimentOptions opt;
+        opt.duration = 120 * units::kSecond;
+        opt.sim.seed = 31;
+        opt.sim.lbPolicy = policy;
+        const auto result =
+            sim::runSteadyState(plans.elasticRec, node, 90.0, opt);
         t.addRow({cluster::toString(policy),
                   TablePrinter::num(result.achievedQps, 1),
                   TablePrinter::num(result.meanLatencyMs, 1),

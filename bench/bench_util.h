@@ -19,6 +19,7 @@
 #include "elasticrec/core/planner.h"
 #include "elasticrec/hw/platform.h"
 #include "elasticrec/model/dlrm_config.h"
+#include "elasticrec/obs/export.h"
 #include "elasticrec/sim/experiment.h"
 
 namespace erec::bench {
@@ -57,6 +58,39 @@ inline void
 quietLogs()
 {
     setLogLevel(LogLevel::Warn);
+}
+
+/**
+ * Parse the shared `--metrics-out DIR` flag (anywhere in argv); returns
+ * an empty string when the flag is absent.
+ */
+inline std::string
+metricsOutDir(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--metrics-out")
+            return argv[i + 1];
+    return {};
+}
+
+/**
+ * Dump one simulation's telemetry as `<dir>/<stem>.prom` (plus
+ * `<stem>_traces.jsonl` when tracing was on). No-op when `dir` is
+ * empty, so binaries can call it unconditionally.
+ */
+inline void
+exportSimMetrics(const std::string &dir, const std::string &stem,
+                 sim::ClusterSimulation &sim)
+{
+    if (dir.empty())
+        return;
+    const auto &traces = sim.traces();
+    obs::writeMetricsFiles(dir, stem, sim.observability(),
+                           traces.empty() ? nullptr : &traces);
+    std::cout << "telemetry: " << dir << "/" << stem << ".prom";
+    if (!traces.empty())
+        std::cout << " (+" << stem << "_traces.jsonl)";
+    std::cout << "\n";
 }
 
 /**
@@ -113,10 +147,12 @@ utilityFigure(const hw::NodeSpec &node, double target_qps)
         for (const auto *s : shards)
             boundaries.push_back(s->endRow);
         const auto er_report = sim::measureUtility(
-            config, boundaries, shards, target_qps, 1000);
+            config, boundaries, shards, target_qps,
+            {.numQueries = 1000});
         const auto mw_report = sim::measureUtility(
             config, {config.rowsPerTable},
-            {&plans.modelWise.frontendShard()}, target_qps, 1000);
+            {&plans.modelWise.frontendShard()}, target_qps,
+            {.numQueries = 1000});
 
         std::cout << "\n" << config.name << " (table 0):\n";
         TablePrinter t({"shard", "rows", "utility", "replicas@" +
@@ -161,9 +197,9 @@ nodesFigure(const hw::NodeSpec &node, double target_qps,
         const auto plans = makePlans(config, node);
         const auto mw = sim::evaluateStatic(plans.modelWise, node,
                                             target_qps);
-        const auto er = sim::runSteadyState(plans.elasticRec, node,
-                                            target_qps,
-                                            60 * units::kSecond);
+        const auto er = sim::runSteadyState(
+            plans.elasticRec, node, target_qps,
+            {.duration = 60 * units::kSecond});
         t.addRow({config.name,
                   TablePrinter::num(static_cast<std::int64_t>(
                       mw.nodes)),

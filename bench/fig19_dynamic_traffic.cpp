@@ -60,8 +60,12 @@ main(int argc, char **argv)
     const auto node = hw::cpuOnlyNode();
     const auto traffic = workload::TrafficPattern::fig19();
     const SimTime duration = 28 * units::kMinute;
+    const std::string metrics_dir = bench::metricsOutDir(argc, argv);
     sim::SimOptions opt;
     opt.seed = 42;
+    // Trace 1% of queries when exporting telemetry; tracing is off on
+    // plain figure runs so the published numbers are untouched.
+    opt.traceSampleEvery = metrics_dir.empty() ? 0 : 100;
 
     const auto plans = bench::makePlans(config, node);
 
@@ -73,15 +77,27 @@ main(int argc, char **argv)
     printSeries(er_result, "ElasticRec");
     printSeries(mw_result, "model-wise");
 
-    // Optional: dump full-resolution series as CSV for plotting.
-    if (argc > 1) {
-        const std::string base = argv[1];
-        std::ofstream er_csv(base + "_elasticrec.csv");
+    bench::exportSimMetrics(metrics_dir, "fig19_elasticrec", er);
+    bench::exportSimMetrics(metrics_dir, "fig19_modelwise", mw);
+
+    // Optional: a positional CSV base dumps full-resolution series
+    // for plotting (`--metrics-out DIR` and its value are skipped).
+    std::string csv_base;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--metrics-out") {
+            ++i;
+            continue;
+        }
+        csv_base = argv[i];
+        break;
+    }
+    if (!csv_base.empty()) {
+        std::ofstream er_csv(csv_base + "_elasticrec.csv");
         sim::writeSimResultCsv(er_csv, er_result);
-        std::ofstream mw_csv(base + "_modelwise.csv");
+        std::ofstream mw_csv(csv_base + "_modelwise.csv");
         sim::writeSimResultCsv(mw_csv, mw_result);
-        std::cout << "wrote " << base << "_elasticrec.csv and "
-                  << base << "_modelwise.csv\n";
+        std::cout << "wrote " << csv_base << "_elasticrec.csv and "
+                  << csv_base << "_modelwise.csv\n";
     }
 
     std::cout << "\nSummary over " << units::toSeconds(duration) / 60

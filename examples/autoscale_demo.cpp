@@ -8,11 +8,13 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "elasticrec/common/logging.h"
 #include "elasticrec/common/table_printer.h"
 #include "elasticrec/core/planner.h"
 #include "elasticrec/hw/platform.h"
+#include "elasticrec/obs/export.h"
 #include "elasticrec/sim/cluster_sim.h"
 #include "elasticrec/sim/experiment.h"
 
@@ -65,15 +67,35 @@ report(const char *name, const sim::SimResult &r)
                      std::max<std::uint64_t>(1, r.completed))
               << "), peak memory "
               << units::formatBytes(r.peakMemory) << ", peak nodes "
-              << r.peakNodes << "\n";
+              << r.peakNodes << ", " << r.scaleEvents
+              << " scale events\n";
+}
+
+void
+exportTelemetry(const std::string &dir, const std::string &stem,
+                sim::ClusterSimulation &sim)
+{
+    if (dir.empty())
+        return;
+    const auto &traces = sim.traces();
+    obs::writeMetricsFiles(dir, stem, sim.observability(),
+                           traces.empty() ? nullptr : &traces);
+    std::cout << "  telemetry: " << dir << "/" << stem << ".prom\n";
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Warn);
+    // Optional: `--metrics-out DIR` dumps each run's Prometheus
+    // export plus a 1%-sampled query-trace JSON-lines file.
+    std::string metrics_dir;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--metrics-out")
+            metrics_dir = argv[i + 1];
+
     const auto config = model::rm1();
     const auto node = hw::cpuOnlyNode();
     const auto traffic = diurnalWave();
@@ -88,16 +110,19 @@ main()
 
     sim::SimOptions opt;
     opt.seed = 99;
+    opt.traceSampleEvery = metrics_dir.empty() ? 0 : 100;
 
     sim::ClusterSimulation er(planner.planElasticRec({cdf}), node,
                               traffic, opt);
     const auto er_result = er.run(duration);
     report("ElasticRec", er_result);
+    exportTelemetry(metrics_dir, "autoscale_elasticrec", er);
 
     sim::ClusterSimulation mw(planner.planModelWise(), node, traffic,
                               opt);
     const auto mw_result = mw.run(duration);
     report("model-wise", mw_result);
+    exportTelemetry(metrics_dir, "autoscale_modelwise", mw);
 
     std::cout << "\nElasticRec vs model-wise: "
               << TablePrinter::ratio(

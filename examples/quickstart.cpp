@@ -16,19 +16,28 @@
  */
 
 #include <iostream>
+#include <string>
 
 #include "elasticrec/common/table_printer.h"
 #include "elasticrec/core/planner.h"
 #include "elasticrec/embedding/frequency_tracker.h"
 #include "elasticrec/hw/platform.h"
+#include "elasticrec/obs/export.h"
 #include "elasticrec/serving/monolithic_server.h"
 #include "elasticrec/serving/stack_builder.h"
 
 using namespace erec;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Optional: `--metrics-out DIR` dumps the serving stack's metrics
+    // as a Prometheus text file under DIR.
+    std::string metrics_dir;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--metrics-out")
+            metrics_dir = argv[i + 1];
+
     // ------------------------------------------------------------------
     // 1. A small DLRM: 4 tables x 10k rows, dim 32, batch 8.
     // ------------------------------------------------------------------
@@ -98,8 +107,12 @@ main()
     // ------------------------------------------------------------------
     // 5. Wire the microservice stack and check equivalence.
     // ------------------------------------------------------------------
+    auto registry = std::make_shared<obs::Registry>();
     auto stack = serving::buildElasticRecStack(
-        dlrm, {partition.boundaries}, {perm});
+        dlrm,
+        {serving::TablePlan{.boundaries = partition.boundaries,
+                            .sortPerm = perm}},
+        {.observability = registry});
     const auto q = gen.next();
     const auto mono_out = monolithic.serve(q);
     const auto shard_out = stack.frontend->serve(q);
@@ -145,5 +158,12 @@ main()
               << TablePrinter::ratio(static_cast<double>(mw_mem) /
                                      static_cast<double>(er_mem))
               << " reduction)\n";
+
+    if (!metrics_dir.empty()) {
+        stack.publishStats();
+        obs::writeMetricsFiles(metrics_dir, "quickstart", *registry);
+        std::cout << "telemetry: " << metrics_dir
+                  << "/quickstart.prom\n";
+    }
     return 0;
 }

@@ -5,6 +5,7 @@
 #   scripts/check.sh asan    # ASan+UBSan build, full ctest
 #   scripts/check.sh tsan    # TSan build, full ctest
 #   scripts/check.sh lint    # erec_lint + clang-tidy (if installed)
+#   scripts/check.sh smoke   # run example + fig bench, validate telemetry
 #   scripts/check.sh all     # every stage above, in order
 #
 # Each stage uses its own build tree (build-check-<stage>) so stages
@@ -47,20 +48,39 @@ stage_lint() {
     cmake --build "$tree" -j "$jobs" --target lint
 }
 
+# End-to-end smoke: run the quickstart example and the Figure 19 bench
+# with --metrics-out, then validate every emitted telemetry file
+# (Prometheus text + trace JSON-lines) with promcheck.
+stage_smoke() {
+    local tree="$repo_root/build-check-release"
+    cmake -B "$tree" -S "$repo_root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DELASTICREC_WERROR=ON
+    cmake --build "$tree" -j "$jobs" \
+        --target quickstart fig19_dynamic_traffic promcheck
+    local out
+    out="$(mktemp -d)"
+    trap 'rm -rf "$out"' RETURN
+    "$tree/examples/quickstart" --metrics-out "$out"
+    "$tree/bench/fig19_dynamic_traffic" --metrics-out "$out"
+    "$tree/tools/promcheck/promcheck" "$out"/*.prom "$out"/*.jsonl
+}
+
 stage="${1:-all}"
 case "$stage" in
   build) stage_build ;;
   asan) stage_asan ;;
   tsan) stage_tsan ;;
   lint) stage_lint ;;
+  smoke) stage_smoke ;;
   all)
     stage_build
     stage_asan
     stage_tsan
     stage_lint
+    stage_smoke
     ;;
   *)
-    echo "usage: check.sh [build|asan|tsan|lint|all]" >&2
+    echo "usage: check.sh [build|asan|tsan|lint|smoke|all]" >&2
     exit 2
     ;;
 esac

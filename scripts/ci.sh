@@ -6,14 +6,17 @@ set -euo pipefail
 
 here="$(cd "$(dirname "$0")" && pwd)"
 
-echo "=== CI job 1/3: RelWithDebInfo + -Werror + ctest ==="
+echo "=== CI job 1/4: RelWithDebInfo + -Werror + ctest ==="
 "$here/check.sh" build
 
-echo "=== CI job 2/3: ASan+UBSan + ctest ==="
+echo "=== CI job 2/4: ASan+UBSan + ctest ==="
 "$here/check.sh" asan
 
-echo "=== CI job 3/3: TSan + ctest, then lint ==="
+echo "=== CI job 3/4: TSan + ctest, then lint ==="
 "$here/check.sh" tsan
 "$here/check.sh" lint
+
+echo "=== CI job 4/4: telemetry smoke ==="
+"$here/check.sh" smoke
 
 echo "=== CI matrix green ==="

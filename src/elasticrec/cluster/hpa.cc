@@ -15,6 +15,35 @@ Hpa::Hpa(HpaPolicy policy) : policy_(policy)
     ERC_CHECK(policy_.syncPeriod > 0, "sync period must be positive");
 }
 
+void
+Hpa::bindObservability(obs::Registry *registry,
+                       const std::string &deployment)
+{
+    if (registry == nullptr) {
+        obsScaleUp_ = nullptr;
+        obsScaleDown_ = nullptr;
+        obsMetricValue_ = nullptr;
+        obsTriggerValue_ = nullptr;
+        return;
+    }
+    obsScaleUp_ = &registry->counter(
+        "erec_hpa_scale_events_total",
+        "Desired-replica changes decided by the HPA.",
+        {{"deployment", deployment}, {"direction", "up"}});
+    obsScaleDown_ = &registry->counter(
+        "erec_hpa_scale_events_total",
+        "Desired-replica changes decided by the HPA.",
+        {{"deployment", deployment}, {"direction", "down"}});
+    obsMetricValue_ = &registry->gauge(
+        "erec_hpa_metric_value",
+        "Metric value observed at the last HPA reconcile.",
+        {{"deployment", deployment}});
+    obsTriggerValue_ = &registry->gauge(
+        "erec_hpa_scale_trigger_value",
+        "Metric value that triggered the last scale event.",
+        {{"deployment", deployment}});
+}
+
 std::uint32_t
 Hpa::reconcile(SimTime now, std::uint32_t current, double measured)
 {
@@ -40,15 +69,40 @@ Hpa::reconcile(SimTime now, std::uint32_t current, double measured)
     while (!history_.empty() && history_.front().first < cutoff)
         history_.pop_front();
 
-    if (recommendation >= current)
-        return recommendation; // Scale up (or hold) immediately.
+    std::uint32_t desired;
+    if (recommendation >= current) {
+        desired = recommendation; // Scale up (or hold) immediately.
+    } else {
+        // Scale-down stabilization: act on the *highest* recommendation
+        // within the window to avoid flapping.
+        std::uint32_t stabilized = recommendation;
+        for (const auto &[t, r] : history_)
+            stabilized = std::max(stabilized, r);
+        desired = std::min(stabilized, current);
+    }
 
-    // Scale-down stabilization: act on the *highest* recommendation
-    // within the window to avoid flapping.
-    std::uint32_t stabilized = recommendation;
-    for (const auto &[t, r] : history_)
-        stabilized = std::max(stabilized, r);
-    return std::min(stabilized, current);
+    if (obsMetricValue_ != nullptr)
+        obsMetricValue_->set(measured);
+
+    // Edge-detect desired-count changes so one decision (which may take
+    // several syncs to realize as ready pods) counts as one event.
+    if (!hasLastDesired_) {
+        hasLastDesired_ = true;
+        lastDesired_ = current;
+    }
+    if (desired != lastDesired_) {
+        const bool up = desired > lastDesired_;
+        if (up)
+            ++scaleUpEvents_;
+        else
+            ++scaleDownEvents_;
+        if (obsScaleUp_ != nullptr) {
+            (up ? obsScaleUp_ : obsScaleDown_)->inc();
+            obsTriggerValue_->set(measured);
+        }
+        lastDesired_ = desired;
+    }
+    return desired;
 }
 
 } // namespace erec::cluster

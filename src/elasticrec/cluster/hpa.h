@@ -21,6 +21,7 @@
 #include <string>
 
 #include "elasticrec/common/units.h"
+#include "elasticrec/obs/metric.h"
 
 namespace erec::cluster {
 
@@ -62,6 +63,16 @@ class Hpa
     const HpaPolicy &policy() const { return policy_; }
 
     /**
+     * Publish scale decisions to an exportable registry under the
+     * given deployment label: the measured metric value every
+     * reconcile, and a scale-event counter (with direction) plus the
+     * triggering metric value whenever the desired count changes.
+     * Pass nullptr to detach. The registry must outlive this object.
+     */
+    void bindObservability(obs::Registry *registry,
+                           const std::string &deployment);
+
+    /**
      * One reconcile step.
      *
      * @param now Current simulated time.
@@ -73,10 +84,24 @@ class Hpa
     std::uint32_t reconcile(SimTime now, std::uint32_t current,
                             double measured);
 
+    /** Desired-count increases / decreases across reconciles. */
+    std::uint64_t scaleUpEvents() const { return scaleUpEvents_; }
+    std::uint64_t scaleDownEvents() const { return scaleDownEvents_; }
+
   private:
     HpaPolicy policy_;
     /** (time, recommendation) history for scale-down stabilization. */
     std::deque<std::pair<SimTime, std::uint32_t>> history_;
+    /** Last desired count, for scale-event edge detection. */
+    std::uint32_t lastDesired_ = 0;
+    bool hasLastDesired_ = false;
+    std::uint64_t scaleUpEvents_ = 0;
+    std::uint64_t scaleDownEvents_ = 0;
+    // Resolved obs handles; null when no registry is bound.
+    obs::Counter *obsScaleUp_ = nullptr;
+    obs::Counter *obsScaleDown_ = nullptr;
+    obs::Gauge *obsMetricValue_ = nullptr;
+    obs::Gauge *obsTriggerValue_ = nullptr;
 };
 
 } // namespace erec::cluster

@@ -7,14 +7,22 @@
  * The HPA controller and the experiment harnesses read metrics from
  * here exclusively, mirroring how the paper's setup scrapes custom
  * statistics from a Prometheus metrics server.
+ *
+ * When bound to an obs::Registry (bindObservability), every completion
+ * and SLA violation is additionally published as exportable labelled
+ * metrics (erec_completions_total, erec_sla_violations_total and the
+ * erec_latency_ms histogram), so a run's telemetry can be dumped in
+ * Prometheus text format.
  */
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "elasticrec/common/stats.h"
 #include "elasticrec/common/units.h"
+#include "elasticrec/obs/metric.h"
 
 namespace erec::cluster {
 
@@ -29,6 +37,13 @@ class MetricsRegistry
         SimTime rate_window = 10 * units::kSecond,
         SimTime latency_window = 30 * units::kSecond);
 
+    /**
+     * Mirror completions / SLA violations / latency samples into an
+     * exportable registry. Pass nullptr to detach. The registry must
+     * outlive this object (or the next bind).
+     */
+    void bindObservability(obs::Registry *registry);
+
     /** Record one completed request with its end-to-end latency. */
     void recordCompletion(const std::string &deployment, SimTime now,
                           SimTime latency);
@@ -36,10 +51,16 @@ class MetricsRegistry
     /** Record an SLA violation (completion later than the SLA bound). */
     void recordSlaViolation(const std::string &deployment);
 
-    /** Queries per second completed by a deployment, trailing window. */
+    /**
+     * Queries per second completed by a deployment, trailing window.
+     * Unknown deployments read as 0 and are not created.
+     */
     double qps(const std::string &deployment, SimTime now);
 
-    /** Latency quantile of a deployment over the trailing window. */
+    /**
+     * Latency quantile of a deployment over the trailing window.
+     * Unknown deployments read as 0 and are not created.
+     */
     SimTime latencyQuantile(const std::string &deployment, SimTime now,
                             double q);
 
@@ -48,6 +69,9 @@ class MetricsRegistry
 
     /** Total SLA violations since start. */
     std::uint64_t slaViolations(const std::string &deployment) const;
+
+    /** Names of deployments that have recorded at least one sample. */
+    std::vector<std::string> deployments() const;
 
     /** Set a named gauge (e.g. memory bytes, replica count). */
     void setGauge(const std::string &name, double value);
@@ -64,12 +88,18 @@ class MetricsRegistry
         RateWindow rate;
         WindowedPercentile latency;
         std::uint64_t slaViolations = 0;
+        // Resolved obs handles; null when no registry is bound.
+        obs::Counter *obsCompletions = nullptr;
+        obs::Counter *obsSlaViolations = nullptr;
+        obs::Histogram *obsLatencyMs = nullptr;
     };
 
     Series &series(const std::string &deployment);
+    void bindSeries(const std::string &deployment, Series &s);
 
     SimTime rateWindow_;
     SimTime latencyWindow_;
+    obs::Registry *obs_ = nullptr;
     std::map<std::string, Series> series_;
     std::map<std::string, double> gauges_;
 };

@@ -1,0 +1,460 @@
+#include "elasticrec/obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::obs {
+
+namespace {
+
+/**
+ * Render a sample value: integers without a fraction (counters and
+ * bucket counts stay grep-able), everything else with full round-trip
+ * precision.
+ */
+std::string
+formatValue(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    if (v == std::rint(v) && std::abs(v) < 1e15) {
+        std::ostringstream oss;
+        oss << static_cast<long long>(v);
+        return oss.str();
+    }
+    std::ostringstream oss;
+    oss << std::setprecision(std::numeric_limits<double>::max_digits10)
+        << v;
+    return oss.str();
+}
+
+std::string
+escapeHelp(const std::string &help)
+{
+    std::string out;
+    out.reserve(help.size());
+    for (char c : help) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
+/** Render `{k="v",...}`, optionally with an extra trailing label. */
+std::string
+renderLabels(const Labels &labels, const std::string &extra_key = "",
+             const std::string &extra_value = "")
+{
+    std::string out;
+    for (const auto &[k, v] : labels) {
+        out += out.empty() ? "{" : ",";
+        out += k;
+        out += "=\"";
+        out += escapeLabelValue(v);
+        out += '"';
+    }
+    if (!extra_key.empty()) {
+        out += out.empty() ? "{" : ",";
+        out += extra_key;
+        out += "=\"";
+        out += escapeLabelValue(extra_value);
+        out += '"';
+    }
+    if (!out.empty())
+        out += '}';
+    return out;
+}
+
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** Minimal recursive-descent parser for the trace JSON-lines schema. */
+class JsonCursor
+{
+  public:
+    explicit JsonCursor(const std::string &text) : s_(text) {}
+
+    void skipWs()
+    {
+        while (i_ < s_.size() &&
+               (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\r'))
+            ++i_;
+    }
+
+    bool atEnd()
+    {
+        skipWs();
+        return i_ >= s_.size();
+    }
+
+    char peek()
+    {
+        skipWs();
+        ERC_CHECK(i_ < s_.size(), "trace json: unexpected end of input");
+        return s_[i_];
+    }
+
+    void expect(char c)
+    {
+        ERC_CHECK(peek() == c, "trace json: expected '"
+                                   << c << "' at offset " << i_);
+        ++i_;
+    }
+
+    bool consume(char c)
+    {
+        if (!atEnd() && peek() == c) {
+            ++i_;
+            return true;
+        }
+        return false;
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            ERC_CHECK(i_ < s_.size(), "trace json: unterminated string");
+            char c = s_[i_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            ERC_CHECK(i_ < s_.size(), "trace json: dangling escape");
+            char e = s_[i_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out.push_back(e);
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 'u': {
+                ERC_CHECK(i_ + 4 <= s_.size(),
+                          "trace json: truncated \\u escape");
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    const char h = s_[i_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        erec::fatal("trace json: bad \\u escape digit");
+                }
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                erec::fatal("trace json: unsupported escape");
+            }
+        }
+    }
+
+    std::int64_t parseInt()
+    {
+        skipWs();
+        const std::size_t start = i_;
+        if (i_ < s_.size() && s_[i_] == '-')
+            ++i_;
+        while (i_ < s_.size() && s_[i_] >= '0' && s_[i_] <= '9')
+            ++i_;
+        ERC_CHECK(i_ > start && (s_[start] != '-' || i_ > start + 1),
+                  "trace json: expected integer at offset " << start);
+        return std::stoll(s_.substr(start, i_ - start));
+    }
+
+    bool parseBool()
+    {
+        skipWs();
+        if (s_.compare(i_, 4, "true") == 0) {
+            i_ += 4;
+            return true;
+        }
+        if (s_.compare(i_, 5, "false") == 0) {
+            i_ += 5;
+            return false;
+        }
+        erec::fatal("trace json: expected boolean");
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t i_ = 0;
+};
+
+Span
+parseSpan(JsonCursor &cur)
+{
+    Span span;
+    cur.expect('{');
+    bool first = true;
+    while (cur.peek() != '}') {
+        if (!first)
+            cur.expect(',');
+        first = false;
+        const std::string key = cur.parseString();
+        cur.expect(':');
+        if (key == "name")
+            span.name = cur.parseString();
+        else if (key == "start_us")
+            span.start = cur.parseInt();
+        else if (key == "end_us")
+            span.end = cur.parseInt();
+        else
+            erec::fatal("trace json: unknown span key '" + key + "'");
+    }
+    cur.expect('}');
+    return span;
+}
+
+QueryTrace
+parseTraceLine(const std::string &line)
+{
+    JsonCursor cur(line);
+    QueryTrace trace;
+    cur.expect('{');
+    bool first = true;
+    while (cur.peek() != '}') {
+        if (!first)
+            cur.expect(',');
+        first = false;
+        const std::string key = cur.parseString();
+        cur.expect(':');
+        if (key == "query_id") {
+            trace.queryId = static_cast<std::uint64_t>(cur.parseInt());
+        } else if (key == "arrival_us") {
+            trace.arrival = cur.parseInt();
+        } else if (key == "completion_us") {
+            trace.completion = cur.parseInt();
+        } else if (key == "completed") {
+            trace.completed = cur.parseBool();
+        } else if (key == "spans") {
+            cur.expect('[');
+            if (!cur.consume(']')) {
+                do {
+                    trace.spans.push_back(parseSpan(cur));
+                } while (cur.consume(','));
+                cur.expect(']');
+            }
+        } else {
+            erec::fatal("trace json: unknown trace key '" + key + "'");
+        }
+    }
+    cur.expect('}');
+    ERC_CHECK(cur.atEnd(), "trace json: trailing content on line");
+    return trace;
+}
+
+} // namespace
+
+std::string
+escapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out.push_back(c);
+    }
+    return out;
+}
+
+void
+writePrometheusText(std::ostream &os, const Registry &registry)
+{
+    for (const auto &[name, fam] : registry.families()) {
+        os << "# HELP " << name << ' ' << escapeHelp(fam.help) << '\n';
+        os << "# TYPE " << name << ' ' << toString(fam.kind) << '\n';
+        for (const auto &[key, child] : fam.children) {
+            switch (fam.kind) {
+              case MetricKind::Counter:
+                os << name << renderLabels(child.labels) << ' '
+                   << formatValue(child.counter->value()) << '\n';
+                break;
+              case MetricKind::Gauge:
+                os << name << renderLabels(child.labels) << ' '
+                   << formatValue(child.gauge->value()) << '\n';
+                break;
+              case MetricKind::Histogram: {
+                const Histogram &h = *child.histogram;
+                std::uint64_t cumulative = 0;
+                for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+                    cumulative += h.bucketCount(i);
+                    os << name << "_bucket"
+                       << renderLabels(child.labels, "le",
+                                       formatValue(h.bounds()[i]))
+                       << ' ' << cumulative << '\n';
+                }
+                os << name << "_bucket"
+                   << renderLabels(child.labels, "le", "+Inf") << ' '
+                   << h.count() << '\n';
+                os << name << "_sum" << renderLabels(child.labels) << ' '
+                   << formatValue(h.sum()) << '\n';
+                os << name << "_count" << renderLabels(child.labels)
+                   << ' ' << h.count() << '\n';
+                break;
+              }
+            }
+        }
+    }
+}
+
+std::string
+toPrometheusText(const Registry &registry)
+{
+    std::ostringstream oss;
+    writePrometheusText(oss, registry);
+    return oss.str();
+}
+
+void
+writeTraceJsonLines(std::ostream &os, const std::deque<QueryTrace> &traces)
+{
+    for (const auto &trace : traces) {
+        os << "{\"query_id\":" << trace.queryId
+           << ",\"arrival_us\":" << trace.arrival
+           << ",\"completion_us\":" << trace.completion
+           << ",\"completed\":" << (trace.completed ? "true" : "false")
+           << ",\"spans\":[";
+        for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+            const Span &span = trace.spans[i];
+            if (i > 0)
+                os << ',';
+            os << "{\"name\":\"" << escapeJson(span.name)
+               << "\",\"start_us\":" << span.start
+               << ",\"end_us\":" << span.end << '}';
+        }
+        os << "]}\n";
+    }
+}
+
+std::string
+toTraceJsonLines(const std::deque<QueryTrace> &traces)
+{
+    std::ostringstream oss;
+    writeTraceJsonLines(oss, traces);
+    return oss.str();
+}
+
+std::vector<QueryTrace>
+readTraceJsonLines(const std::string &text)
+{
+    std::vector<QueryTrace> traces;
+    std::istringstream iss(text);
+    std::string line;
+    while (std::getline(iss, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        traces.push_back(parseTraceLine(line));
+    }
+    return traces;
+}
+
+void
+writeMetricsFiles(const std::string &dir, const std::string &stem,
+                  const Registry &registry,
+                  const std::deque<QueryTrace> *traces)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(fs::path(dir), ec);
+    ERC_CHECK(!ec, "cannot create metrics directory '" << dir << "'");
+
+    const fs::path prom = fs::path(dir) / (stem + ".prom");
+    std::ofstream prom_os(prom);
+    ERC_CHECK(prom_os.good(),
+              "cannot open '" << prom.string() << "' for writing");
+    writePrometheusText(prom_os, registry);
+
+    if (traces != nullptr) {
+        const fs::path jsonl = fs::path(dir) / (stem + "_traces.jsonl");
+        std::ofstream trace_os(jsonl);
+        ERC_CHECK(trace_os.good(),
+                  "cannot open '" << jsonl.string() << "' for writing");
+        writeTraceJsonLines(trace_os, *traces);
+    }
+}
+
+} // namespace erec::obs

@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Exporters for the observability layer.
+ *
+ *  - Prometheus text exposition format (the format the paper's metrics
+ *    server serves to its scraper): HELP/TYPE headers, escaped label
+ *    values, cumulative `_bucket{le=...}` histogram series plus `_sum`
+ *    and `_count`.
+ *  - JSON lines for query traces: one self-contained JSON object per
+ *    line, with a strict reader so tooling (and tests) can round-trip
+ *    what the writer emits.
+ *
+ * Output ordering is deterministic (families and children are stored
+ * in ordered maps), so two identical runs export byte-identical text.
+ */
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "elasticrec/obs/metric.h"
+#include "elasticrec/obs/trace.h"
+
+namespace erec::obs {
+
+/** Escape a label value for the text format (backslash, quote, \n). */
+std::string escapeLabelValue(const std::string &value);
+
+/** Render the whole registry in Prometheus text exposition format. */
+void writePrometheusText(std::ostream &os, const Registry &registry);
+std::string toPrometheusText(const Registry &registry);
+
+/** Write traces as JSON lines (one object per trace). */
+void writeTraceJsonLines(std::ostream &os,
+                         const std::deque<QueryTrace> &traces);
+std::string toTraceJsonLines(const std::deque<QueryTrace> &traces);
+
+/**
+ * Parse JSON-lines traces as written by writeTraceJsonLines. Raises
+ * ConfigError on malformed input.
+ */
+std::vector<QueryTrace> readTraceJsonLines(const std::string &text);
+
+/**
+ * Dump one run's exports into a directory: `<dir>/<stem>.prom` and,
+ * when `traces` is non-null, `<dir>/<stem>_traces.jsonl`. The
+ * directory is created if needed. This is the backend of the bench
+ * binaries' `--metrics-out DIR` flag.
+ */
+void writeMetricsFiles(const std::string &dir, const std::string &stem,
+                       const Registry &registry,
+                       const std::deque<QueryTrace> *traces = nullptr);
+
+} // namespace erec::obs

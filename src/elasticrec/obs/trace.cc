@@ -1,0 +1,43 @@
+#include "elasticrec/obs/trace.h"
+
+#include <algorithm>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::obs {
+
+QueryTrace *
+Tracer::maybeSample(SimTime arrival)
+{
+    if (sampleEvery_ == 0)
+        return nullptr;
+    const std::uint64_t n = seen_++;
+    if (n % sampleEvery_ != 0)
+        return nullptr;
+    QueryTrace trace;
+    trace.queryId = n;
+    trace.arrival = arrival;
+    traces_.push_back(std::move(trace));
+    return &traces_.back();
+}
+
+void
+Tracer::finish(QueryTrace *trace, SimTime completion)
+{
+    ERC_ASSERT(trace != nullptr, "finish() on a null trace");
+    trace->completion = completion;
+    trace->completed = true;
+    std::stable_sort(trace->spans.begin(), trace->spans.end(),
+                     [](const Span &a, const Span &b) {
+                         return a.start < b.start;
+                     });
+}
+
+void
+Tracer::reset()
+{
+    seen_ = 0;
+    traces_.clear();
+}
+
+} // namespace erec::obs

@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file
+ * Sampled per-query tracing: the stand-in for the request-level
+ * visibility the paper's testbed gets from routing every RPC through
+ * Linkerd. A sampled query carries a QueryTrace with one span per
+ * pipeline stage (arrival -> frontend LB -> dense compute in parallel
+ * with per-shard gather RPCs -> sparse pod queue/service -> merge ->
+ * completion), so a slow query can be attributed to the stage that
+ * caused it.
+ *
+ * Sampling is deterministic (every Nth arrival) so traced runs stay
+ * bit-reproducible, and the whole layer sits behind a cheap enabled()
+ * check: with sampling off, the simulator's hot loop does one integer
+ * compare per query and allocates nothing.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "elasticrec/common/units.h"
+
+namespace erec::obs {
+
+/** One timed pipeline stage of a traced query. */
+struct Span
+{
+    std::string name;
+    SimTime start = 0;
+    SimTime end = 0;
+};
+
+/** The full record of one sampled query. */
+struct QueryTrace
+{
+    /** Arrival index of the query in its run (0-based). */
+    std::uint64_t queryId = 0;
+    SimTime arrival = 0;
+    /** Valid only when completed (lost queries keep 0). */
+    SimTime completion = 0;
+    /** False when the query died with a crashed pod or the run ended. */
+    bool completed = false;
+    std::vector<Span> spans;
+
+    void addSpan(std::string name, SimTime start, SimTime end)
+    {
+        spans.push_back({std::move(name), start, end});
+    }
+};
+
+class Tracer
+{
+  public:
+    /** @param sample_every Trace one query in every `sample_every`
+     *        arrivals; 0 disables tracing entirely. */
+    explicit Tracer(std::uint32_t sample_every = 0)
+        : sampleEvery_(sample_every)
+    {}
+
+    bool enabled() const { return sampleEvery_ != 0; }
+    std::uint32_t sampleEvery() const { return sampleEvery_; }
+
+    /**
+     * Account one arrival; returns a trace to fill when this arrival
+     * is sampled, nullptr otherwise. Returned pointers stay valid for
+     * the tracer's lifetime.
+     */
+    QueryTrace *maybeSample(SimTime arrival);
+
+    /** Close a trace: stamp completion and sort spans by start time. */
+    void finish(QueryTrace *trace, SimTime completion);
+
+    /** Arrivals seen (sampled or not). */
+    std::uint64_t seen() const { return seen_; }
+
+    const std::deque<QueryTrace> &traces() const { return traces_; }
+
+    void reset();
+
+  private:
+    std::uint32_t sampleEvery_;
+    std::uint64_t seen_ = 0;
+    std::deque<QueryTrace> traces_;
+};
+
+} // namespace erec::obs

@@ -37,6 +37,7 @@ DenseShardServer::serve(const std::vector<float> &dense_in,
     ERC_CHECK(lookups.size() == config.numTables,
               "need one lookup set per table");
     const std::uint32_t dim = config.embeddingDim;
+    ++served_;
 
     // (1) Bottom MLP runs concurrently with the gather RPCs in the real
     // system; functionally it is just computed first here.

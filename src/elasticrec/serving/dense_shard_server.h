@@ -61,10 +61,14 @@ class DenseShardServer
 
     const model::Dlrm &model() const { return *dlrm_; }
 
+    /** Queries served end to end by this frontend (load accounting). */
+    std::uint64_t queriesServed() const { return served_; }
+
   private:
     std::shared_ptr<const model::Dlrm> dlrm_;
     std::vector<core::Bucketizer> bucketizers_;
     std::vector<std::vector<std::shared_ptr<SparseShardServer>>> shards_;
+    mutable std::uint64_t served_ = 0;
 };
 
 } // namespace erec::serving

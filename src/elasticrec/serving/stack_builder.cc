@@ -5,51 +5,83 @@
 
 namespace erec::serving {
 
+namespace {
+
+obs::Labels
+shardLabels(std::uint32_t table, std::uint32_t shard)
+{
+    return {{"table", "table-" + std::to_string(table)},
+            {"shard", "shard-" + std::to_string(shard)}};
+}
+
+} // namespace
+
+void
+ElasticRecStack::publishStats() const
+{
+    if (observability == nullptr)
+        return;
+    observability
+        ->gauge("erec_frontend_queries_served",
+                "Queries served end to end by the functional frontend.")
+        .set(static_cast<double>(frontend->queriesServed()));
+    for (std::uint32_t t = 0; t < shards.size(); ++t) {
+        for (std::uint32_t s = 0; s < shards[t].size(); ++s) {
+            observability
+                ->gauge("erec_shard_rows_gathered",
+                        "Rows gathered by one sparse shard server.",
+                        shardLabels(t, s))
+                .set(static_cast<double>(shards[t][s]->rowsGathered()));
+        }
+    }
+}
+
 ElasticRecStack
-buildElasticRecStack(
-    std::shared_ptr<const model::Dlrm> dlrm,
-    std::vector<std::vector<std::uint64_t>> boundaries_per_table,
-    std::vector<std::vector<std::uint32_t>> sort_perm_per_table)
+buildElasticRecStack(std::shared_ptr<const model::Dlrm> dlrm,
+                     std::vector<TablePlan> plans, StackOptions options)
 {
     ERC_CHECK(dlrm != nullptr, "null model");
     const std::uint32_t tables = dlrm->config().numTables;
-    ERC_CHECK(boundaries_per_table.size() == 1 ||
-                  boundaries_per_table.size() == tables,
-              "pass one boundary set or one per table");
-    ERC_CHECK(sort_perm_per_table.empty() ||
-                  sort_perm_per_table.size() == 1 ||
-                  sort_perm_per_table.size() == tables,
-              "pass zero, one, or one-per-table sort permutations");
+    ERC_CHECK(plans.size() == 1 || plans.size() == tables,
+              "pass one TablePlan or one per table");
 
-    auto boundaries_for = [&](std::uint32_t t)
-        -> const std::vector<std::uint64_t> & {
-        return boundaries_per_table.size() == 1 ? boundaries_per_table[0]
-                                                : boundaries_per_table[t];
-    };
-    auto perm_for = [&](std::uint32_t t) -> std::vector<std::uint32_t> {
-        if (sort_perm_per_table.empty())
-            return {};
-        return sort_perm_per_table.size() == 1 ? sort_perm_per_table[0]
-                                               : sort_perm_per_table[t];
+    auto plan_for = [&](std::uint32_t t) -> const TablePlan & {
+        return plans.size() == 1 ? plans[0] : plans[t];
     };
 
     ElasticRecStack stack;
+    stack.observability = options.observability;
     std::vector<core::Bucketizer> bucketizers;
     for (std::uint32_t t = 0; t < tables; ++t) {
-        auto perm = perm_for(t);
+        const TablePlan &plan = plan_for(t);
         auto sharded = std::make_shared<embedding::ShardedTable>(
-            dlrm->table(t), perm, boundaries_for(t));
+            dlrm->table(t), plan.sortPerm, plan.boundaries);
         stack.tables.push_back(sharded);
 
         std::vector<std::uint32_t> inv;
-        if (!perm.empty())
-            inv = embedding::FrequencyTracker::invertPermutation(perm);
-        bucketizers.emplace_back(boundaries_for(t), std::move(inv));
+        if (!plan.sortPerm.empty())
+            inv = embedding::FrequencyTracker::invertPermutation(
+                plan.sortPerm);
+        bucketizers.emplace_back(plan.boundaries, std::move(inv));
 
         std::vector<std::shared_ptr<SparseShardServer>> servers;
-        for (std::uint32_t s = 0; s < sharded->numShards(); ++s)
-            servers.push_back(
-                std::make_shared<SparseShardServer>(sharded, s));
+        for (std::uint32_t s = 0; s < sharded->numShards(); ++s) {
+            auto server =
+                std::make_shared<SparseShardServer>(sharded, s);
+            if (options.observability != nullptr) {
+                options.observability
+                    ->gauge("erec_shard_rows",
+                            "Rows owned by one sparse shard.",
+                            shardLabels(t, s))
+                    .set(static_cast<double>(server->range().rows()));
+                options.observability
+                    ->gauge("erec_shard_bytes",
+                            "Parameter bytes owned by one sparse shard.",
+                            shardLabels(t, s))
+                    .set(static_cast<double>(server->memBytes()));
+            }
+            servers.push_back(std::move(server));
+        }
         stack.shards.push_back(std::move(servers));
     }
     stack.frontend = std::make_shared<DenseShardServer>(

@@ -11,9 +11,36 @@
 #include <memory>
 #include <vector>
 
+#include "elasticrec/obs/metric.h"
 #include "elasticrec/serving/dense_shard_server.h"
 
 namespace erec::serving {
+
+/**
+ * How one embedding table is partitioned for serving. The builder
+ * accepts either one plan shared by every table or one plan per table.
+ */
+struct TablePlan
+{
+    /** Partitioning points in hotness-sorted space. */
+    std::vector<std::uint64_t> boundaries = {};
+    /**
+     * Hotness permutation (rank -> original ID). Leave empty when the
+     * table is already hotness-sorted.
+     */
+    std::vector<std::uint32_t> sortPerm = {};
+};
+
+/** Knobs of buildElasticRecStack beyond the per-table plans. */
+struct StackOptions
+{
+    /**
+     * When set, the builder registers per-shard size gauges
+     * (erec_shard_rows / erec_shard_bytes) and publishStats() becomes
+     * available on the stack.
+     */
+    std::shared_ptr<obs::Registry> observability = {};
+};
 
 /** A fully wired in-process ElasticRec deployment. */
 struct ElasticRecStack
@@ -21,22 +48,25 @@ struct ElasticRecStack
     std::shared_ptr<DenseShardServer> frontend;
     std::vector<std::shared_ptr<const embedding::ShardedTable>> tables;
     std::vector<std::vector<std::shared_ptr<SparseShardServer>>> shards;
+    /** Registry from StackOptions; null when none was supplied. */
+    std::shared_ptr<obs::Registry> observability = {};
+
+    /**
+     * Snapshot serving counters (frontend queries served, per-shard
+     * rows gathered) into the registry. No-op without one.
+     */
+    void publishStats() const;
 };
 
 /**
  * Build the stack.
  *
  * @param dlrm The model (provides tables and dense layers).
- * @param boundaries_per_table Partitioning points per table in
- *        hotness-sorted space. Pass a single entry to reuse one plan
- *        for every table.
- * @param sort_perm_per_table Hotness permutation per table
- *        (rank -> original ID). Pass an empty vector when tables are
- *        already hotness-sorted; pass a single entry to share one.
+ * @param plans One TablePlan shared by all tables, or one per table.
+ * @param options See StackOptions.
  */
 ElasticRecStack buildElasticRecStack(
     std::shared_ptr<const model::Dlrm> dlrm,
-    std::vector<std::vector<std::uint64_t>> boundaries_per_table,
-    std::vector<std::vector<std::uint32_t>> sort_perm_per_table = {});
+    std::vector<TablePlan> plans, StackOptions options = {});
 
 } // namespace erec::serving

@@ -17,7 +17,16 @@ struct QueryCtx
     SimTime arrival = 0;
     std::uint32_t outstanding = 0;
     SimTime lastDone = 0;
+    /** Non-null when this query was sampled for tracing. */
+    obs::QueryTrace *trace = nullptr;
 };
+
+obs::Labels
+podLabels(const std::string &deployment, std::uint64_t pod_id)
+{
+    return {{"deployment", deployment},
+            {"pod", "pod-" + std::to_string(pod_id)}};
+}
 
 } // namespace
 
@@ -29,9 +38,15 @@ ClusterSimulation::ClusterSimulation(core::DeploymentPlan plan,
       traffic_(std::move(traffic)), options_(options),
       rng_(options.seed), arrivals_(traffic_, options.seed ^ 0xA551),
       channel_(hw::NetworkLink(node_)),
-      scheduler_(node_)
+      scheduler_(node_),
+      obs_(options.observability ? options.observability
+                                 : std::make_shared<obs::Registry>()),
+      tracer_(options.traceSampleEvery)
 {
     ERC_CHECK(!plan_.shards.empty(), "deployment plan has no shards");
+    metrics_.bindObservability(obs_.get());
+    obsArrivals_ = &obs_->counter("erec_arrivals_total",
+                                  "Queries arrived at the frontend.");
     const double initial_qps = traffic_.qpsAt(0);
 
     for (const auto &spec : plan_.shards) {
@@ -57,6 +72,29 @@ ClusterSimulation::ClusterSimulation(core::DeploymentPlan plan,
                             options_.denseLatencyTargetFraction;
         }
         ds.hpa = std::make_unique<cluster::Hpa>(policy);
+        ds.hpa->bindObservability(obs_.get(), spec.name);
+
+        const obs::Labels labels = {{"deployment", spec.name}};
+        ds.obsColdStarts = &obs_->counter(
+            "erec_cold_starts_total",
+            "Pods started cold (container boot + parameter load).",
+            labels);
+        ds.obsQueueDepth = &obs_->gauge(
+            "erec_queue_depth",
+            "Requests pending or in flight across the deployment.",
+            labels);
+        ds.obsUtilization = &obs_->gauge(
+            "erec_utilization",
+            "Fraction of ready-replica service capacity busy over the "
+            "last sample interval.",
+            labels);
+        ds.obsReady = &obs_->gauge(
+            "erec_ready_replicas", "Pods in the Ready state.", labels);
+        ds.obsDesired = &obs_->gauge(
+            "erec_desired_replicas",
+            "Replica count the controller is converging toward.",
+            labels);
+
         ds.balancer = std::make_unique<cluster::LoadBalancer>(
             options_.lbPolicy,
             options_.seed ^ std::hash<std::string>{}(spec.name));
@@ -161,6 +199,7 @@ ClusterSimulation::addPod(DeploymentState &ds, bool instant)
         raw->markReady();
         return;
     }
+    ds.obsColdStarts->inc();
     // Cold start: container scheduling plus loading this shard's
     // parameters into memory.
     const SimTime load = units::fromSeconds(
@@ -214,10 +253,15 @@ ClusterSimulation::removePod(DeploymentState &ds)
 void
 ClusterSimulation::reapDrained(DeploymentState &ds)
 {
-    std::erase_if(ds.pods, [this](const std::unique_ptr<Pod> &p) {
+    std::erase_if(ds.pods, [this, &ds](const std::unique_ptr<Pod> &p) {
         if (!p->removable())
             return false;
         lostQueries_ += p->lostItems();
+        // Keep the utilization accounting and the export clean: carry
+        // the dead pod's busy time, drop its per-pod gauge.
+        ds.reapedBusy += p->busyTime();
+        obs_->remove("erec_pod_queue_depth",
+                     podLabels(ds.deployment->name(), p->id()));
         return true;
     });
 }
@@ -249,10 +293,22 @@ ClusterSimulation::startQuery()
     const bool monolithic =
         fe.deployment->spec().kind == core::ShardKind::Monolithic;
 
+    // Deterministic sampling: no RNG draw, no extra events, so traced
+    // and untraced runs play out identically.
+    obs::QueryTrace *trace = tracer_.maybeSample(arrival);
+
     if (monolithic) {
         WorkItem item;
         item.jitter = jitter();
-        item.onDone = [this, arrival](SimTime done) {
+        std::shared_ptr<SimTime> svc_start;
+        if (trace != nullptr) {
+            svc_start = std::make_shared<SimTime>(arrival);
+            item.onStart = [trace, arrival, svc_start](SimTime start) {
+                *svc_start = start;
+                trace->addSpan("mono/queue", arrival, start);
+            };
+        }
+        item.onDone = [this, arrival, trace, svc_start](SimTime done) {
             const SimTime latency = done - arrival;
             metrics_.recordCompletion(frontendName_, done, latency);
             latencyAll_.add(units::toMillis(latency));
@@ -260,6 +316,10 @@ ClusterSimulation::startQuery()
             if (latency > options_.sla) {
                 metrics_.recordSlaViolation(frontendName_);
                 ++result_.slaViolations;
+            }
+            if (trace != nullptr) {
+                trace->addSpan("mono/service", *svc_start, done);
+                tracer_.finish(trace, done);
             }
         };
         dispatch(fe, std::move(item));
@@ -272,6 +332,7 @@ ClusterSimulation::startQuery()
     // finished.
     auto ctx = std::make_shared<QueryCtx>();
     ctx->arrival = arrival;
+    ctx->trace = trace;
     ctx->outstanding = 1; // dense leg
     for (const auto &name : deploymentOrder_) {
         const auto &ds = deployments_.at(name);
@@ -292,13 +353,28 @@ ClusterSimulation::startQuery()
             metrics_.recordSlaViolation(frontendName_);
             ++result_.slaViolations;
         }
+        if (ctx->trace != nullptr)
+            tracer_.finish(ctx->trace, ctx->lastDone);
     };
 
-    // Dense leg.
+    // Dense leg: overlaps the bottom-MLP compute with the gathers.
     {
         WorkItem item;
         item.jitter = jitter();
-        item.onDone = component_done;
+        if (ctx->trace != nullptr) {
+            auto svc_start = std::make_shared<SimTime>(arrival);
+            item.onStart = [ctx, arrival, svc_start](SimTime start) {
+                *svc_start = start;
+                ctx->trace->addSpan("dense/queue", arrival, start);
+            };
+            item.onDone = [ctx, svc_start,
+                           component_done](SimTime done) {
+                ctx->trace->addSpan("dense/compute", *svc_start, done);
+                component_done(done);
+            };
+        } else {
+            item.onDone = component_done;
+        }
         dispatch(fe, std::move(item));
     }
 
@@ -311,13 +387,35 @@ ClusterSimulation::startQuery()
             continue;
         const SimTime out = channel_.oneWay(ds.requestBytes);
         const SimTime back = channel_.oneWay(ds.responseBytes);
-        queue_.scheduleAfter(out, [this, &ds, back, component_done]() {
+        queue_.scheduleAfter(out, [this, &ds, back, component_done,
+                                   ctx]() {
+            const SimTime rpc_arrive = queue_.now();
             WorkItem item;
             item.jitter = jitter();
-            item.onDone = [this, &ds, back,
-                           component_done](SimTime done) {
+            std::shared_ptr<SimTime> svc_start;
+            if (ctx->trace != nullptr) {
+                svc_start = std::make_shared<SimTime>(rpc_arrive);
+                const std::string dep = ds.deployment->name();
+                ctx->trace->addSpan("rpc/" + dep + "/request",
+                                    ctx->arrival, rpc_arrive);
+                item.onStart = [ctx, dep, rpc_arrive,
+                                svc_start](SimTime start) {
+                    *svc_start = start;
+                    ctx->trace->addSpan("sparse/" + dep + "/queue",
+                                        rpc_arrive, start);
+                };
+            }
+            item.onDone = [this, &ds, back, component_done, ctx,
+                           svc_start](SimTime done) {
                 metrics_.recordCompletion(ds.deployment->name(), done,
                                           0);
+                if (ctx->trace != nullptr) {
+                    const std::string dep = ds.deployment->name();
+                    ctx->trace->addSpan("sparse/" + dep + "/service",
+                                        *svc_start, done);
+                    ctx->trace->addSpan("rpc/" + dep + "/response",
+                                        done, done + back);
+                }
                 reapDrained(ds);
                 queue_.schedule(done + back,
                                 [component_done, done, back]() {
@@ -337,6 +435,7 @@ ClusterSimulation::scheduleNextArrival()
         return;
     queue_.schedule(next, [this]() {
         ++result_.arrivals;
+        obsArrivals_->inc();
         startQuery();
         scheduleNextArrival();
     });
@@ -413,6 +512,40 @@ ClusterSimulation::sampleTick(SimTime end)
     result_.nodesInUse.add(now, nodes);
     result_.peakNodes = std::max(result_.peakNodes, nodes);
 
+    // Publish per-deployment (and per-pod) gauges for the export.
+    for (auto &[name, ds] : deployments_) {
+        std::uint32_t depth =
+            static_cast<std::uint32_t>(ds.pending.size());
+        SimTime busy = ds.reapedBusy;
+        std::uint32_t dep_ready = 0;
+        for (const auto &p : ds.pods) {
+            depth += p->inFlight();
+            busy += p->busyTime();
+            if (p->state() == PodState::Ready) {
+                ++dep_ready;
+                obs_->gauge("erec_pod_queue_depth",
+                            "Requests queued or in service at one pod.",
+                            podLabels(name, p->id()))
+                    .set(p->inFlight());
+            }
+        }
+        ds.obsQueueDepth->set(depth);
+        ds.obsReady->set(dep_ready);
+        ds.obsDesired->set(ds.deployment->desiredReplicas());
+        const auto stages = static_cast<double>(
+            ds.deployment->spec().stageLatencies.size());
+        const double capacity =
+            static_cast<double>(options_.sampleInterval) *
+            static_cast<double>(dep_ready) * stages;
+        const double util =
+            capacity > 0
+                ? static_cast<double>(busy - ds.lastBusySample) /
+                      capacity
+                : 0.0;
+        ds.obsUtilization->set(util);
+        ds.lastBusySample = busy;
+    }
+
     if (now + options_.sampleInterval <= end)
         queue_.scheduleAfter(options_.sampleInterval,
                              [this, end]() { sampleTick(end); });
@@ -426,6 +559,16 @@ ClusterSimulation::run(SimTime duration)
     latencyAll_.reset();
     lostQueries_ = 0;
     endTime_ = duration;
+    tracer_.reset();
+
+    // Baseline the scale-event counters so result_ reports only this
+    // run's events even when the simulation object is reused.
+    std::map<std::string, std::uint64_t> scaleBaseline;
+    for (const auto &name : deploymentOrder_) {
+        const auto &hpa = *state(name).hpa;
+        scaleBaseline[name] =
+            hpa.scaleUpEvents() + hpa.scaleDownEvents();
+    }
 
     // Instantiate the initial replica set, ready at t = 0.
     for (const auto &name : deploymentOrder_) {
@@ -470,7 +613,15 @@ ClusterSimulation::run(SimTime duration)
             lostQueries_ += p->lostItems();
         result_.finalReplicas[name] =
             static_cast<std::uint32_t>(ds.pods.size());
+        const std::uint64_t events = ds.hpa->scaleUpEvents() +
+                                     ds.hpa->scaleDownEvents() -
+                                     scaleBaseline[name];
+        result_.scaleEventsByDeployment[name] = events;
+        result_.scaleEvents += events;
     }
+    obs_->gauge("erec_lost_queries",
+                "Queries whose in-flight work died with a crashed pod.")
+        .set(static_cast<double>(lostQueries_));
     return result_;
 }
 

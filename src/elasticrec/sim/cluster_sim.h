@@ -41,6 +41,8 @@
 #include "elasticrec/common/rng.h"
 #include "elasticrec/common/stats.h"
 #include "elasticrec/core/planner.h"
+#include "elasticrec/obs/metric.h"
+#include "elasticrec/obs/trace.h"
 #include "elasticrec/rpc/channel.h"
 #include "elasticrec/sim/event_queue.h"
 #include "elasticrec/sim/pod.h"
@@ -82,6 +84,18 @@ struct SimOptions
     cluster::LbPolicy lbPolicy = cluster::LbPolicy::PowerOfTwoChoices;
     /** RNG seed. */
     std::uint64_t seed = 2024;
+    /**
+     * Trace one query in every `traceSampleEvery` arrivals (0 = off,
+     * 100 = 1% sampling). Sampling is deterministic and consumes no
+     * randomness, so traced and untraced runs produce identical
+     * SimResults.
+     */
+    std::uint32_t traceSampleEvery = 0;
+    /**
+     * Exportable metrics registry to publish into. When null the
+     * simulation creates its own (reachable via observability()).
+     */
+    std::shared_ptr<obs::Registry> observability = {};
 };
 
 /** Aggregate results of one simulation run. */
@@ -104,6 +118,9 @@ struct SimResult
     std::uint32_t peakNodes = 0;
     /** Final replica count per deployment. */
     std::map<std::string, std::uint32_t> finalReplicas;
+    /** HPA desired-count changes during the run (up + down). */
+    std::uint64_t scaleEvents = 0;
+    std::map<std::string, std::uint64_t> scaleEventsByDeployment;
 };
 
 class ClusterSimulation
@@ -135,6 +152,20 @@ class ClusterSimulation
 
     const core::DeploymentPlan &plan() const { return plan_; }
 
+    /** Exportable metrics registry (shared with SimOptions' owner). */
+    obs::Registry &observability() { return *obs_; }
+    std::shared_ptr<obs::Registry> observabilityPtr() const
+    {
+        return obs_;
+    }
+
+    /** Sampled query traces collected by the last run. */
+    const obs::Tracer &tracer() const { return tracer_; }
+    const std::deque<obs::QueryTrace> &traces() const
+    {
+        return tracer_.traces();
+    }
+
   private:
     struct DeploymentState
     {
@@ -147,6 +178,16 @@ class ClusterSimulation
         /** Wire bytes of one request/response to this deployment. */
         Bytes requestBytes = 0;
         Bytes responseBytes = 0;
+        // Exported telemetry handles (owned by obs_).
+        obs::Counter *obsColdStarts = nullptr;
+        obs::Gauge *obsQueueDepth = nullptr;
+        obs::Gauge *obsUtilization = nullptr;
+        obs::Gauge *obsReady = nullptr;
+        obs::Gauge *obsDesired = nullptr;
+        /** Busy time carried by pods reaped since the run started. */
+        SimTime reapedBusy = 0;
+        /** Busy-time snapshot at the previous sample tick. */
+        SimTime lastBusySample = 0;
     };
 
     DeploymentState &state(const std::string &name);
@@ -176,6 +217,9 @@ class ClusterSimulation
     rpc::Channel channel_;
     cluster::MetricsRegistry metrics_;
     cluster::Scheduler scheduler_;
+    std::shared_ptr<obs::Registry> obs_;
+    obs::Tracer tracer_;
+    obs::Counter *obsArrivals_ = nullptr;
 
     std::vector<std::string> deploymentOrder_;
     std::map<std::string, DeploymentState> deployments_;

@@ -25,11 +25,11 @@ cdfFor(const model::DlrmConfig &config, std::uint32_t granules)
 
 StaticDeployment
 evaluateStatic(const core::DeploymentPlan &plan, const hw::NodeSpec &node,
-               double target_qps, double utilization)
+               double target_qps, const ExperimentOptions &options)
 {
-    ERC_CHECK(utilization > 0.0 && utilization <= 1.0,
+    ERC_CHECK(options.utilization > 0.0 && options.utilization <= 1.0,
               "utilization must be in (0, 1]");
-    const double sized_qps = target_qps / utilization;
+    const double sized_qps = target_qps / options.utilization;
     StaticDeployment out;
     out.policy = plan.policy;
     out.targetQps = target_qps;
@@ -51,24 +51,23 @@ evaluateStatic(const core::DeploymentPlan &plan, const hw::NodeSpec &node,
 
 SteadyStateResult
 runSteadyState(const core::DeploymentPlan &plan, const hw::NodeSpec &node,
-               double target_qps, SimTime duration, SimOptions options,
-               double utilization)
+               double target_qps, const ExperimentOptions &options)
 {
     SteadyStateResult result;
-    result.staticView =
-        evaluateStatic(plan, node, target_qps, utilization);
+    result.staticView = evaluateStatic(plan, node, target_qps, options);
 
-    options.autoscale = false;
-    options.warmStart = true;
+    SimOptions sim_options = options.sim;
+    sim_options.autoscale = false;
+    sim_options.warmStart = true;
     ClusterSimulation sim(plan, node,
                           workload::TrafficPattern::constant(target_qps),
-                          options);
+                          sim_options);
     for (const auto &[name, replicas] : result.staticView.replicas)
         sim.setFixedReplicas(name, replicas);
-    const SimResult r = sim.run(duration);
+    const SimResult r = sim.run(options.duration);
 
-    result.achievedQps =
-        static_cast<double>(r.completed) / units::toSeconds(duration);
+    result.achievedQps = static_cast<double>(r.completed) /
+                         units::toSeconds(options.duration);
     result.meanLatencyMs = r.meanLatencyMs;
     result.p95LatencyMs = r.p95LatencyOverallMs;
     result.slaViolationFraction =
@@ -83,8 +82,7 @@ UtilityReport
 measureUtility(const model::DlrmConfig &config,
                const std::vector<std::uint64_t> &boundaries,
                const std::vector<const core::ShardSpec *> &shard_specs,
-               double target_qps, std::uint32_t num_queries,
-               std::uint64_t seed)
+               double target_qps, const ExperimentOptions &options)
 {
     ERC_CHECK(!boundaries.empty(), "need at least one shard boundary");
     ERC_CHECK(boundaries.back() == config.rowsPerTable,
@@ -95,10 +93,10 @@ measureUtility(const model::DlrmConfig &config,
 
     // Stream queries for one table: batchSize items x poolingFactor
     // gathers, sampled in hotness-rank space.
-    Rng rng(seed);
+    Rng rng(options.seed);
     const std::uint64_t gathers_per_query =
         config.gathersPerQueryPerTable();
-    for (std::uint32_t q = 0; q < num_queries; ++q) {
+    for (std::uint32_t q = 0; q < options.numQueries; ++q) {
         for (std::uint64_t g = 0; g < gathers_per_query; ++g)
             tracker.recordRank(dist->sampleRank(rng));
     }

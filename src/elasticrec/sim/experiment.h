@@ -37,6 +37,34 @@ distributionFor(const model::DlrmConfig &config);
 std::shared_ptr<const embedding::AccessCdf>
 cdfFor(const model::DlrmConfig &config, std::uint32_t granules = 1024);
 
+/**
+ * Shared knobs of the experiment helpers below. One options struct
+ * instead of trailing positional defaults, so call sites name what
+ * they override (designated initializers) and new knobs do not churn
+ * every caller.
+ */
+struct ExperimentOptions
+{
+    /**
+     * Peak per-replica utilization the deployment is sized for;
+     * replicas are provisioned at target/utilization. Mirrors the
+     * HPA's 65-70% scaling targets (Section IV-D) so tail latency
+     * stays inside the SLA. Pass 1.0 for exact sizing.
+     */
+    double utilization = 0.85;
+    /** Simulated duration of steady-state runs. */
+    SimTime duration = 120 * units::kSecond;
+    /** Queries streamed by measureUtility (the paper measures 1,000). */
+    std::uint32_t numQueries = 1000;
+    /** RNG seed for measureUtility's query stream. */
+    std::uint64_t seed = 99;
+    /**
+     * Simulation options for runSteadyState. The harness forces
+     * autoscale off and warmStart on (steady state is fixed-replica).
+     */
+    SimOptions sim = {};
+};
+
 /** Static deployment summary at a fleet target QPS. */
 struct StaticDeployment
 {
@@ -51,16 +79,12 @@ struct StaticDeployment
 /**
  * Evaluate a plan statically: replica counts from the planner's
  * per-shard QPS estimates, total memory, and bin-packed node count.
- *
- * @param utilization Peak per-replica utilization the deployment is
- *        sized for; replicas are provisioned at target/utilization.
- *        Mirrors the HPA's 65-70% scaling targets (Section IV-D) so
- *        tail latency stays inside the SLA. Pass 1.0 for exact sizing.
+ * Uses options.utilization for sizing.
  */
 StaticDeployment evaluateStatic(const core::DeploymentPlan &plan,
                                 const hw::NodeSpec &node,
                                 double target_qps,
-                                double utilization = 0.85);
+                                const ExperimentOptions &options = {});
 
 /** Result of a steady-state (fixed-replica) simulation run. */
 struct SteadyStateResult
@@ -75,14 +99,13 @@ struct SteadyStateResult
 /**
  * Run a fixed-replica steady-state simulation of a plan at the target
  * QPS and report achieved throughput and latency alongside the static
- * deployment view.
+ * deployment view. Uses options.duration, options.utilization and
+ * options.sim.
  */
 SteadyStateResult runSteadyState(const core::DeploymentPlan &plan,
                                  const hw::NodeSpec &node,
                                  double target_qps,
-                                 SimTime duration = 120 * units::kSecond,
-                                 SimOptions options = {},
-                                 double utilization = 0.85);
+                                 const ExperimentOptions &options = {});
 
 /** Per-shard utility measurement (Figures 14 and 17). */
 struct UtilityReport
@@ -97,8 +120,8 @@ struct UtilityReport
 
 /**
  * Measure the memory utility of one table's shards by streaming
- * `num_queries` generated queries (the paper measures the first 1,000)
- * through the access distribution and recording which rows are
+ * options.numQueries generated queries (the paper measures the first
+ * 1,000) through the access distribution and recording which rows are
  * touched.
  *
  * @param config Workload config (row count, pooling factor, locality).
@@ -107,13 +130,11 @@ struct UtilityReport
  * @param shard_specs Shard specs of this table (for replica counts);
  *        may be empty when only utility is needed.
  * @param target_qps Fleet target used for the replica counts.
- * @param num_queries Queries to stream.
  */
 UtilityReport measureUtility(
     const model::DlrmConfig &config,
     const std::vector<std::uint64_t> &boundaries,
     const std::vector<const core::ShardSpec *> &shard_specs,
-    double target_qps, std::uint32_t num_queries = 1000,
-    std::uint64_t seed = 99);
+    double target_qps, const ExperimentOptions &options = {});
 
 } // namespace erec::sim

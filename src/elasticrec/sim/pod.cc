@@ -40,6 +40,9 @@ Pod::tryStart(EventQueue &queue, std::size_t stage_idx)
     const auto service = std::max<SimTime>(
         1, static_cast<SimTime>(
                static_cast<double>(stage.nominal) * item.jitter + 0.5));
+    busyTime_ += service;
+    if (stage_idx == 0 && item.onStart)
+        item.onStart(queue.now());
     queue.scheduleAfter(
         service, [this, &queue, stage_idx, item = std::move(item)]() mutable {
             stages_[stage_idx].busy = false;

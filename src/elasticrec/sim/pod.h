@@ -39,6 +39,10 @@ struct WorkItem
 {
     /** Multiplicative service-time jitter (1.0 = nominal). */
     double jitter = 1.0;
+    /** Invoked when the first stage starts serving (queue exit). Used
+     *  by tracing to split queueing delay from service time; null for
+     *  untraced work. */
+    std::function<void(SimTime start)> onStart;
     /** Invoked when the last stage completes. */
     std::function<void(SimTime completion)> onDone;
 };
@@ -93,6 +97,10 @@ class Pod
     /** Total requests fully served by this pod. */
     std::uint64_t served() const { return served_; }
 
+    /** Cumulative busy time across all stages (service time booked at
+     *  service start). Feeds the exported utilization gauge. */
+    SimTime busyTime() const { return busyTime_; }
+
   private:
     struct Stage
     {
@@ -109,6 +117,7 @@ class Pod
     std::uint32_t inFlight_ = 0;
     std::uint64_t served_ = 0;
     std::uint64_t lost_ = 0;
+    SimTime busyTime_ = 0;
 };
 
 } // namespace erec::sim

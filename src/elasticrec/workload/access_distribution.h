@@ -66,8 +66,10 @@ class AccessDistribution
 class LocalityDistribution : public AccessDistribution
 {
   public:
-    LocalityDistribution(std::uint64_t num_rows, double p,
-                         double hot_row_fraction = 0.10,
+    // Grandfathered positional defaults predating the options-struct
+    // convention.
+    LocalityDistribution(std::uint64_t num_rows, // erec-lint: allow(excess-default-params)
+                         double p, double hot_row_fraction = 0.10,
                          double hot_shape = 0.35, double cold_shape = 1.0);
 
     std::uint64_t numRows() const override { return numRows_; }

@@ -37,7 +37,9 @@ class TrafficPattern
      * between rampStart and rampEnd, holds, then drops back to the base
      * rate at dropTime.
      */
-    static TrafficPattern fig19(double base_qps = 20.0,
+    // Grandfathered positional defaults predating the options-struct
+    // convention.
+    static TrafficPattern fig19(double base_qps = 20.0, // erec-lint: allow(excess-default-params)
                                 double peak_qps = 100.0, int up_steps = 5,
                                 SimTime ramp_start = 5 * units::kMinute,
                                 SimTime ramp_end = 20 * units::kMinute,

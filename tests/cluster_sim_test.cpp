@@ -39,13 +39,21 @@ fastOptions()
     return opt;
 }
 
+ExperimentOptions
+steadyOptions(SimTime duration)
+{
+    ExperimentOptions opt;
+    opt.duration = duration;
+    opt.sim = fastOptions();
+    return opt;
+}
+
 TEST(ClusterSimTest, SteadyStateTracksTarget)
 {
     const auto config = model::rm1();
     const auto node = hw::cpuOnlyNode();
     const auto result = runSteadyState(erPlan(config, node), node, 50.0,
-                                       60 * units::kSecond,
-                                       fastOptions());
+                                       steadyOptions(60 * units::kSecond));
     EXPECT_NEAR(result.achievedQps, 50.0, 5.0);
     EXPECT_LT(result.p95LatencyMs, 400.0);
     EXPECT_LT(result.slaViolationFraction, 0.05);
@@ -56,8 +64,7 @@ TEST(ClusterSimTest, ModelWiseSteadyStateAlsoTracks)
     const auto config = model::rm1();
     const auto node = hw::cpuOnlyNode();
     const auto result = runSteadyState(mwPlan(config, node), node, 50.0,
-                                       60 * units::kSecond,
-                                       fastOptions());
+                                       steadyOptions(60 * units::kSecond));
     EXPECT_NEAR(result.achievedQps, 50.0, 5.0);
 }
 
@@ -66,9 +73,9 @@ TEST(ClusterSimTest, ElasticRecUsesLessMemoryUnderSim)
     const auto config = model::rm1();
     const auto node = hw::cpuOnlyNode();
     const auto er = runSteadyState(erPlan(config, node), node, 100.0,
-                                   30 * units::kSecond, fastOptions());
+                                   steadyOptions(30 * units::kSecond));
     const auto mw = runSteadyState(mwPlan(config, node), node, 100.0,
-                                   30 * units::kSecond, fastOptions());
+                                   steadyOptions(30 * units::kSecond));
     EXPECT_LT(er.staticView.memory, mw.staticView.memory);
     EXPECT_LE(er.staticView.nodes, mw.staticView.nodes);
 }

@@ -30,7 +30,8 @@ TEST(ExperimentTest, StaticDeploymentConsistency)
     const auto node = hw::cpuOnlyNode();
     core::Planner planner(config, node);
     const auto plan = planner.planElasticRec({cdfFor(config)});
-    const auto view = evaluateStatic(plan, node, 100.0, 1.0);
+    const auto view =
+        evaluateStatic(plan, node, 100.0, {.utilization = 1.0});
 
     EXPECT_EQ(view.policy, "elasticrec");
     EXPECT_EQ(view.memory, plan.memoryForTarget(100.0));
@@ -63,8 +64,8 @@ TEST(ExperimentTest, UtilityHotShardsHigher)
     config.rowsPerTable = 1'000'000; // shrink for test speed
     const std::vector<std::uint64_t> boundaries = {
         20000, 100000, 400000, 1'000'000};
-    const auto report = measureUtility(config, boundaries, {}, 100.0,
-                                       50);
+    const auto report =
+        measureUtility(config, boundaries, {}, 100.0, {.numQueries = 50});
     ASSERT_EQ(report.shardUtility.size(), 4u);
     // Non-increasing hot-to-cold, strictly hotter head than tail.
     for (std::size_t s = 1; s < report.shardUtility.size(); ++s)
@@ -73,8 +74,8 @@ TEST(ExperimentTest, UtilityHotShardsHigher)
     EXPECT_GT(report.shardUtility.front(),
               report.shardUtility.back() * 5);
 
-    const auto mono =
-        measureUtility(config, {config.rowsPerTable}, {}, 100.0, 50);
+    const auto mono = measureUtility(config, {config.rowsPerTable}, {},
+                                     100.0, {.numQueries = 50});
     EXPECT_LT(mono.shardUtility[0], 0.30);
     EXPECT_NEAR(mono.overallUtility, report.overallUtility, 0.02);
 }
@@ -89,8 +90,8 @@ TEST(ExperimentTest, UtilityReplicaCounts)
     std::vector<std::uint64_t> boundaries;
     for (const auto *s : shards)
         boundaries.push_back(s->endRow);
-    const auto report =
-        measureUtility(config, boundaries, shards, 100.0, 50);
+    const auto report = measureUtility(config, boundaries, shards, 100.0,
+                                       {.numQueries = 50});
     ASSERT_EQ(report.shardReplicas.size(), shards.size());
     // Hottest shard gets at least as many replicas as the coldest.
     EXPECT_GE(report.shardReplicas.front(),
@@ -103,8 +104,8 @@ TEST(ExperimentTest, SteadyStateReportsViolationFraction)
     const auto node = hw::cpuOnlyNode();
     core::Planner planner(config, node);
     const auto plan = planner.planModelWise();
-    const auto result =
-        runSteadyState(plan, node, 30.0, 30 * units::kSecond);
+    const auto result = runSteadyState(
+        plan, node, 30.0, {.duration = 30 * units::kSecond});
     EXPECT_GE(result.slaViolationFraction, 0.0);
     EXPECT_LE(result.slaViolationFraction, 1.0);
     EXPECT_GT(result.achievedQps, 0.0);

@@ -146,6 +146,77 @@ TEST(LintToolTest, AllowCommentSuppresses)
         "header-namespace"));
 }
 
+TEST(LintToolTest, ExcessDefaultParamsFiresOnThreeDefaults)
+{
+    const std::string hdr = "#pragma once\nnamespace erec {\n";
+    // Three defaulted parameters: fires.
+    EXPECT_TRUE(hasRule(
+        lintContent("src/elasticrec/x/a.h",
+                    hdr + "void f(int a = 1, double b = 2.0,\n"
+                          "       bool c = true);\n}\n"),
+        "excess-default-params"));
+    // Two defaults: fine.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.h",
+                    hdr + "void f(int a, int b = 1, int c = 2);\n}\n"),
+        "excess-default-params"));
+    // Library headers only; sources and benches are exempt.
+    const std::string three =
+        "void f(int a = 1, int b = 2, int c = 3);\n";
+    EXPECT_FALSE(hasRule(lintContent("src/elasticrec/x/a.cc", three),
+                         "excess-default-params"));
+    EXPECT_FALSE(hasRule(
+        lintContent("bench/util.h", "#pragma once\n" + three),
+        "excess-default-params"));
+}
+
+TEST(LintToolTest, ExcessDefaultParamsIgnoresNonDefaultEquals)
+{
+    const std::string hdr = "#pragma once\nnamespace erec {\n";
+    // `= default`, `= 0` and comparison operators are not defaults.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.h",
+                    hdr + "struct S {\n"
+                          "  S &operator=(const S &) = default;\n"
+                          "  virtual void v() = 0;\n"
+                          "  bool ok(int a, int b) { return a == b &&\n"
+                          "      a <= b && a >= b && a != b; }\n"
+                          "};\n}\n"),
+        "excess-default-params"));
+    // Defaults hidden inside nested braces (designated initializers)
+    // don't count against the enclosing group.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.h",
+                    hdr + "inline int g() {\n"
+                          "  return h({.a = 1, .b = 2, .c = 3});\n"
+                          "}\n}\n"),
+        "excess-default-params"));
+    // Multi-line declarations still count across lines and report the
+    // line that opens the parameter list.
+    const auto diags = lintContent(
+        "src/elasticrec/x/a.h",
+        hdr + "void f(\n    int a = 1,\n    int b = 2,\n"
+              "    int c = 3);\n}\n");
+    ASSERT_TRUE(hasRule(diags, "excess-default-params"));
+    for (const auto &d : diags) {
+        if (d.rule == "excess-default-params") {
+            EXPECT_EQ(d.line, 3);
+        }
+    }
+}
+
+TEST(LintToolTest, ExcessDefaultParamsSuppressible)
+{
+    const std::string hdr = "#pragma once\nnamespace erec {\n";
+    EXPECT_FALSE(hasRule(
+        lintContent(
+            "src/elasticrec/x/a.h",
+            hdr +
+                "void f(int a = 1, // erec-lint: allow(excess-default-params)\n"
+                "       int b = 2, int c = 3);\n}\n"),
+        "excess-default-params"));
+}
+
 TEST(LintToolTest, DiagnosticsCarryLocation)
 {
     const auto diags = lintContent("src/elasticrec/x/a.cc",

@@ -42,6 +42,68 @@ TEST(MetricsRegistryTest, UnknownSeriesIsZero)
     EXPECT_DOUBLE_EQ(m.qps("nope", 0), 0.0);
 }
 
+TEST(MetricsRegistryTest, ReadsNeverCreateSeries)
+{
+    // qps()/latencyQuantile() on an unknown deployment must not insert
+    // an empty Series as a side effect: deployments() stays empty and
+    // repeated reads keep returning zero.
+    MetricsRegistry m;
+    EXPECT_DOUBLE_EQ(m.qps("ghost", 10 * units::kSecond), 0.0);
+    EXPECT_EQ(m.latencyQuantile("ghost", units::kSecond, 0.95), 0);
+    EXPECT_TRUE(m.deployments().empty());
+    m.recordCompletion("real", units::kSecond, units::kMillisecond);
+    EXPECT_EQ(m.deployments(), std::vector<std::string>{"real"});
+}
+
+TEST(MetricsRegistryTest, DeploymentsAreSorted)
+{
+    MetricsRegistry m;
+    m.recordCompletion("zeta", units::kSecond, 1);
+    m.recordSlaViolation("alpha");
+    m.recordCompletion("mid", units::kSecond, 1);
+    const std::vector<std::string> expect = {"alpha", "mid", "zeta"};
+    EXPECT_EQ(m.deployments(), expect);
+}
+
+TEST(MetricsRegistryTest, MirrorsIntoObservabilityRegistry)
+{
+    obs::Registry registry;
+    MetricsRegistry m;
+    m.bindObservability(&registry);
+    m.recordCompletion("svc", units::kSecond,
+                       5 * units::kMillisecond);
+    m.recordCompletion("svc", units::kSecond,
+                       800 * units::kMillisecond);
+    m.recordSlaViolation("svc");
+    EXPECT_DOUBLE_EQ(registry.value("erec_completions_total",
+                                    {{"deployment", "svc"}}),
+                     2.0);
+    EXPECT_DOUBLE_EQ(registry.value("erec_sla_violations_total",
+                                    {{"deployment", "svc"}}),
+                     1.0);
+}
+
+TEST(MetricsRegistryTest, BindRebindsExistingSeries)
+{
+    // Series created before the bind are published retroactively on
+    // their next update; detaching stops publication.
+    MetricsRegistry m;
+    m.recordCompletion("svc", units::kSecond, units::kMillisecond);
+    obs::Registry registry;
+    m.bindObservability(&registry);
+    m.recordCompletion("svc", 2 * units::kSecond,
+                       units::kMillisecond);
+    EXPECT_DOUBLE_EQ(registry.value("erec_completions_total",
+                                    {{"deployment", "svc"}}),
+                     1.0);
+    m.bindObservability(nullptr);
+    m.recordCompletion("svc", 3 * units::kSecond,
+                       units::kMillisecond);
+    EXPECT_DOUBLE_EQ(registry.value("erec_completions_total",
+                                    {{"deployment", "svc"}}),
+                     1.0);
+}
+
 TEST(MetricsRegistryTest, SlaViolations)
 {
     MetricsRegistry m;

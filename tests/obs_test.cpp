@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for the observability layer: metric registry semantics,
+ * histogram bucket boundaries, Prometheus text rendering (escaping,
+ * labels, cumulative buckets), trace JSON-lines round-trips and tracer
+ * sampling invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/obs/export.h"
+#include "elasticrec/obs/metric.h"
+#include "elasticrec/obs/trace.h"
+
+namespace erec::obs {
+namespace {
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpper)
+{
+    // Prometheus semantics: bucket i counts bounds[i-1] < x <= bounds[i].
+    Histogram h({1.0, 2.0, 5.0});
+    h.observe(0.5); // <= 1.0 -> bucket 0
+    h.observe(1.0); // == 1.0 -> bucket 0 (upper bound inclusive)
+    h.observe(1.5); // -> bucket 1
+    h.observe(2.0); // == 2.0 -> bucket 1
+    h.observe(5.0); // == 5.0 -> bucket 2
+    h.observe(9.0); // > 5.0 -> +Inf overflow bucket
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u); // +Inf
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 9.0);
+}
+
+TEST(HistogramTest, RejectsNonIncreasingBounds)
+{
+    EXPECT_THROW(Histogram({1.0, 1.0}), ConfigError);
+    EXPECT_THROW(Histogram({2.0, 1.0}), ConfigError);
+    EXPECT_THROW(Histogram({}), ConfigError);
+}
+
+TEST(RegistryTest, HandlesAreStableAndKeyedByLabels)
+{
+    Registry r;
+    Counter &a = r.counter("erec_x_total", "help", {{"d", "one"}});
+    Counter &b = r.counter("erec_x_total", "help", {{"d", "two"}});
+    Counter &a2 = r.counter("erec_x_total", "help", {{"d", "one"}});
+    EXPECT_EQ(&a, &a2);
+    EXPECT_NE(&a, &b);
+    a.inc();
+    a.inc(2.5);
+    EXPECT_DOUBLE_EQ(r.value("erec_x_total", {{"d", "one"}}), 3.5);
+    EXPECT_DOUBLE_EQ(r.value("erec_x_total", {{"d", "two"}}), 0.0);
+}
+
+TEST(RegistryTest, AbsentSeriesReadsZeroWithoutInserting)
+{
+    Registry r;
+    EXPECT_DOUBLE_EQ(r.value("erec_missing", {{"d", "x"}}), 0.0);
+    EXPECT_TRUE(r.families().empty());
+}
+
+TEST(RegistryTest, KindConflictAndBadNamesThrow)
+{
+    Registry r;
+    r.counter("erec_x_total", "help");
+    EXPECT_THROW(r.gauge("erec_x_total", "help"), ConfigError);
+    EXPECT_THROW(r.counter("0bad", "help"), ConfigError);
+    EXPECT_THROW(r.counter("has space", "help"), ConfigError);
+    EXPECT_THROW(r.counter("erec_l", "help", {{"0bad", "v"}}),
+                 ConfigError);
+}
+
+TEST(RegistryTest, RemoveDropsOnlyTheNamedChild)
+{
+    Registry r;
+    r.gauge("erec_g", "help", {{"pod", "pod-0"}}).set(1);
+    r.gauge("erec_g", "help", {{"pod", "pod-1"}}).set(2);
+    r.remove("erec_g", {{"pod", "pod-0"}});
+    EXPECT_DOUBLE_EQ(r.value("erec_g", {{"pod", "pod-0"}}), 0.0);
+    EXPECT_DOUBLE_EQ(r.value("erec_g", {{"pod", "pod-1"}}), 2.0);
+    r.remove("erec_g", {{"pod", "pod-9"}}); // absent: no-op
+    r.remove("erec_nope", {});              // absent family: no-op
+}
+
+TEST(ExportTest, EscapesLabelValues)
+{
+    EXPECT_EQ(escapeLabelValue("plain"), "plain");
+    EXPECT_EQ(escapeLabelValue("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapeLabelValue("a\"b"), "a\\\"b");
+    EXPECT_EQ(escapeLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(ExportTest, PrometheusTextRendersFamiliesAndLabels)
+{
+    Registry r;
+    r.counter("erec_done_total", "Work done.", {{"deployment", "d\"1"}})
+        .inc(3);
+    r.gauge("erec_depth", "Queue depth.").set(7);
+    const std::string text = toPrometheusText(r);
+    EXPECT_NE(text.find("# HELP erec_done_total Work done.\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE erec_done_total counter\n"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("erec_done_total{deployment=\"d\\\"1\"} 3\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("# TYPE erec_depth gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("erec_depth 7\n"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusHistogramIsCumulativeWithInf)
+{
+    Registry r;
+    Histogram &h =
+        r.histogram("erec_lat_ms", "Latency.", {1.0, 2.0});
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(99.0);
+    const std::string text = toPrometheusText(r);
+    EXPECT_NE(text.find("erec_lat_ms_bucket{le=\"1\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("erec_lat_ms_bucket{le=\"2\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("erec_lat_ms_bucket{le=\"+Inf\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("erec_lat_ms_count 3\n"), std::string::npos);
+    EXPECT_NE(text.find("erec_lat_ms_sum 101\n"), std::string::npos);
+}
+
+TEST(TracerTest, SamplesEveryNthDeterministically)
+{
+    Tracer t(3);
+    ASSERT_TRUE(t.enabled());
+    int sampled = 0;
+    for (int i = 0; i < 10; ++i) {
+        QueryTrace *trace = t.maybeSample(i * 100);
+        if (i % 3 == 0) {
+            ASSERT_NE(trace, nullptr) << "arrival " << i;
+            EXPECT_EQ(trace->queryId, static_cast<std::uint64_t>(i));
+            ++sampled;
+        } else {
+            EXPECT_EQ(trace, nullptr) << "arrival " << i;
+        }
+    }
+    EXPECT_EQ(sampled, 4);
+    EXPECT_EQ(t.seen(), 10u);
+    EXPECT_EQ(t.traces().size(), 4u);
+}
+
+TEST(TracerTest, DisabledTracerSamplesNothing)
+{
+    Tracer t(0);
+    EXPECT_FALSE(t.enabled());
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(t.maybeSample(i), nullptr);
+    EXPECT_TRUE(t.traces().empty());
+}
+
+TEST(TracerTest, FinishStampsCompletionAndSortsSpans)
+{
+    Tracer t(1);
+    QueryTrace *trace = t.maybeSample(100);
+    ASSERT_NE(trace, nullptr);
+    trace->addSpan("late", 300, 400);
+    trace->addSpan("early", 100, 200);
+    t.finish(trace, 450);
+    EXPECT_TRUE(trace->completed);
+    EXPECT_EQ(trace->completion, 450);
+    ASSERT_EQ(trace->spans.size(), 2u);
+    EXPECT_EQ(trace->spans[0].name, "early");
+    EXPECT_EQ(trace->spans[1].name, "late");
+}
+
+TEST(ExportTest, TraceJsonLinesRoundTrip)
+{
+    std::deque<QueryTrace> traces;
+    QueryTrace a;
+    a.queryId = 7;
+    a.arrival = 1000;
+    a.completion = 5000;
+    a.completed = true;
+    a.addSpan("dense/queue", 1000, 1200);
+    a.addSpan("sparse/t0-s1/service", 1200, 4000);
+    traces.push_back(a);
+    QueryTrace b; // lost query: never completed, no spans
+    b.queryId = 8;
+    b.arrival = 2000;
+    traces.push_back(b);
+
+    const std::string text = toTraceJsonLines(traces);
+    const auto back = readTraceJsonLines(text);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].queryId, 7u);
+    EXPECT_EQ(back[0].arrival, 1000);
+    EXPECT_EQ(back[0].completion, 5000);
+    EXPECT_TRUE(back[0].completed);
+    ASSERT_EQ(back[0].spans.size(), 2u);
+    EXPECT_EQ(back[0].spans[0].name, "dense/queue");
+    EXPECT_EQ(back[0].spans[0].start, 1000);
+    EXPECT_EQ(back[0].spans[0].end, 1200);
+    EXPECT_EQ(back[0].spans[1].name, "sparse/t0-s1/service");
+    EXPECT_FALSE(back[1].completed);
+    EXPECT_TRUE(back[1].spans.empty());
+
+    // Writing the parsed traces again is byte-identical.
+    std::deque<QueryTrace> again(back.begin(), back.end());
+    EXPECT_EQ(toTraceJsonLines(again), text);
+}
+
+TEST(ExportTest, TraceReaderRejectsMalformedInput)
+{
+    EXPECT_THROW(readTraceJsonLines("not json\n"), ConfigError);
+    EXPECT_THROW(readTraceJsonLines("{\"query_id\":1\n"), ConfigError);
+    EXPECT_THROW(readTraceJsonLines("{\"mystery_key\":1}\n"),
+                 ConfigError);
+}
+
+TEST(ExportTest, JsonEscapesSpanNames)
+{
+    std::deque<QueryTrace> traces;
+    QueryTrace a;
+    a.queryId = 1;
+    a.addSpan("we\"ird\\name", 0, 1);
+    traces.push_back(a);
+    const std::string text = toTraceJsonLines(traces);
+    EXPECT_NE(text.find("we\\\"ird\\\\name"), std::string::npos);
+    const auto back = readTraceJsonLines(text);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].spans[0].name, "we\"ird\\name");
+}
+
+} // namespace
+} // namespace erec::obs

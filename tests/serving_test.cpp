@@ -54,7 +54,8 @@ TEST_P(ShardedEquivalence, MatchesMonolithicIdentityOrder)
     const auto config = tinyConfig();
     auto dlrm = std::make_shared<model::Dlrm>(config);
     MonolithicServer mono(dlrm);
-    auto stack = buildElasticRecStack(dlrm, {GetParam()});
+    auto stack =
+        buildElasticRecStack(dlrm, {TablePlan{.boundaries = GetParam()}});
 
     for (std::uint64_t seed = 1; seed <= 5; ++seed) {
         const auto q = makeQuery(config, seed);
@@ -89,7 +90,8 @@ TEST(ServingTest, MatchesMonolithicWithHotnessPermutation)
             tracker.recordAll(l.indices);
     }
     const auto perm = tracker.sortPermutation();
-    auto stack = buildElasticRecStack(dlrm, {{30, 150, 500}}, {perm});
+    auto stack = buildElasticRecStack(
+        dlrm, {TablePlan{.boundaries = {30, 150, 500}, .sortPerm = perm}});
 
     for (std::uint64_t seed = 1; seed <= 5; ++seed) {
         const auto q = makeQuery(config, seed);
@@ -112,7 +114,9 @@ TEST(ServingTest, PerTablePlansAndPerms)
     std::reverse(reversed.begin(), reversed.end());
 
     auto stack = buildElasticRecStack(
-        dlrm, {{100, 500}, {250, 400, 500}}, {identity, reversed});
+        dlrm,
+        {TablePlan{.boundaries = {100, 500}, .sortPerm = identity},
+         TablePlan{.boundaries = {250, 400, 500}, .sortPerm = reversed}});
     const auto q = makeQuery(config, 9);
     const auto expect = mono.serve(q);
     const auto got = stack.frontend->serve(q);
@@ -124,7 +128,8 @@ TEST(ServingTest, SparseShardLoadAccounting)
 {
     const auto config = tinyConfig(1);
     auto dlrm = std::make_shared<model::Dlrm>(config);
-    auto stack = buildElasticRecStack(dlrm, {{50, 500}});
+    auto stack =
+        buildElasticRecStack(dlrm, {TablePlan{.boundaries = {50, 500}}});
     const auto q = makeQuery(config, 3);
     stack.frontend->serve(q);
     std::uint64_t gathered = 0;
@@ -137,7 +142,8 @@ TEST(ServingTest, ShardMemoryTilesTable)
 {
     const auto config = tinyConfig(1);
     auto dlrm = std::make_shared<model::Dlrm>(config);
-    auto stack = buildElasticRecStack(dlrm, {{50, 200, 500}});
+    auto stack = buildElasticRecStack(
+        dlrm, {TablePlan{.boundaries = {50, 200, 500}}});
     Bytes total = 0;
     for (const auto &s : stack.shards[0])
         total += s->memBytes();
@@ -167,7 +173,8 @@ TEST(ServingTest, PaperScaleVirtualTablesEquivalence)
     // Paper-like partitioning points in sorted space.
     const std::vector<std::uint64_t> boundaries = {
         600'000, 2'000'000, 12'000'000, 20'000'000};
-    auto stack = buildElasticRecStack(dlrm, {boundaries});
+    auto stack =
+        buildElasticRecStack(dlrm, {TablePlan{.boundaries = boundaries}});
 
     workload::QueryShape shape;
     shape.batchSize = config.batchSize;

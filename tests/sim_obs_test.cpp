@@ -1,0 +1,215 @@
+/**
+ * @file
+ * End-to-end telemetry tests: an autoscaled cluster simulation with 1%
+ * query tracing must emit a Prometheus export and a JSON-lines trace
+ * file that parse cleanly (via the promcheck parser) and cross-check
+ * against the run's SimResult — completions, SLA violations and scale
+ * events all match — while tracing itself never perturbs the
+ * simulation or its determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "elasticrec/core/planner.h"
+#include "elasticrec/hw/platform.h"
+#include "elasticrec/obs/export.h"
+#include "elasticrec/sim/cluster_sim.h"
+#include "elasticrec/sim/experiment.h"
+#include "tools/promcheck/prom_parser.h"
+
+namespace erec::sim {
+namespace {
+
+core::DeploymentPlan
+erPlan(const model::DlrmConfig &config, const hw::NodeSpec &node)
+{
+    core::Planner planner = core::Planner::forPlatform(config, node);
+    return planner.planElasticRec({cdfFor(config, 256)});
+}
+
+/** A traffic step that forces the HPA to scale up mid-run. */
+workload::TrafficPattern
+stepTraffic()
+{
+    return workload::TrafficPattern(
+        {{0, 20.0}, {2 * units::kMinute, 60.0}});
+}
+
+SimOptions
+tracedOptions()
+{
+    SimOptions opt;
+    opt.seed = 7;
+    opt.traceSampleEvery = 100; // 1% of queries
+    return opt;
+}
+
+std::string
+readFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+TEST(SimObsTest, ExportedTelemetryCrossChecksSimResult)
+{
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    const auto plan = erPlan(config, node);
+    ClusterSimulation sim(plan, node, stepTraffic(), tracedOptions());
+    const auto r = sim.run(6 * units::kMinute);
+    ASSERT_GT(r.completed, 0u);
+    EXPECT_GT(r.scaleEvents, 0u) << "traffic step must trigger the HPA";
+
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "erec_sim_obs_test";
+    std::filesystem::remove_all(dir);
+    obs::writeMetricsFiles(dir.string(), "run", sim.observability(),
+                           &sim.traces());
+
+    // The Prometheus export parses and passes histogram invariants.
+    const auto prom =
+        tools::parsePrometheusText(readFile(dir / "run.prom"));
+    for (const auto &e : prom.errors)
+        ADD_FAILURE() << e;
+    ASSERT_TRUE(prom.ok);
+
+    // Counters match the run's own accounting exactly.
+    const std::string frontend = plan.frontendShard().name;
+    EXPECT_EQ(prom.value("erec_arrivals_total"),
+              static_cast<double>(r.arrivals));
+    EXPECT_EQ(prom.value("erec_completions_total",
+                         {{"deployment", frontend}}),
+              static_cast<double>(r.completed));
+    EXPECT_EQ(prom.value("erec_sla_violations_total",
+                         {{"deployment", frontend}}),
+              static_cast<double>(r.slaViolations));
+
+    // Scale events: per-deployment up+down counters sum to the
+    // SimResult's totals.
+    double exported_events = 0;
+    for (const auto &s : prom.samples)
+        if (s.name == "erec_hpa_scale_events_total")
+            exported_events += s.value;
+    EXPECT_EQ(exported_events, static_cast<double>(r.scaleEvents));
+    for (const auto &[dep, events] : r.scaleEventsByDeployment) {
+        const double up = prom.value("erec_hpa_scale_events_total",
+                                     {{"deployment", dep},
+                                      {"direction", "up"}});
+        const double down = prom.value("erec_hpa_scale_events_total",
+                                       {{"deployment", dep},
+                                        {"direction", "down"}});
+        EXPECT_EQ(up + down, static_cast<double>(events)) << dep;
+    }
+
+    // The latency histogram saw every completion.
+    EXPECT_EQ(prom.value("erec_latency_ms_count",
+                         {{"deployment", frontend}}),
+              static_cast<double>(r.completed));
+
+    // The trace file re-reads and matches the in-memory traces.
+    const auto traces =
+        obs::readTraceJsonLines(readFile(dir / "run_traces.jsonl"));
+    EXPECT_EQ(traces.size(), sim.traces().size());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SimObsTest, TracesObeySpanInvariants)
+{
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    ClusterSimulation sim(erPlan(config, node), node, stepTraffic(),
+                          tracedOptions());
+    const auto r = sim.run(5 * units::kMinute);
+
+    // 1% sampling: one trace per 100 arrivals, first arrival included.
+    ASSERT_GT(r.arrivals, 100u);
+    EXPECT_EQ(sim.traces().size(), (r.arrivals - 1) / 100 + 1);
+
+    std::size_t completed_traces = 0;
+    for (const auto &trace : sim.traces()) {
+        if (!trace.completed)
+            continue;
+        ++completed_traces;
+        EXPECT_GE(trace.completion, trace.arrival);
+        SimTime last_start = trace.arrival;
+        for (const auto &span : trace.spans) {
+            EXPECT_LE(span.start, span.end) << span.name;
+            EXPECT_GE(span.start, trace.arrival) << span.name;
+            EXPECT_LE(span.end, trace.completion) << span.name;
+            EXPECT_GE(span.start, last_start)
+                << span.name << ": spans not sorted by start";
+            last_start = span.start;
+        }
+        EXPECT_FALSE(trace.spans.empty());
+    }
+    EXPECT_GT(completed_traces, 0u);
+}
+
+TEST(SimObsTest, TracedRunsAreByteIdenticalForSameSeed)
+{
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    const auto plan = erPlan(config, node);
+
+    ClusterSimulation a(plan, node, stepTraffic(), tracedOptions());
+    ClusterSimulation b(plan, node, stepTraffic(), tracedOptions());
+    a.run(4 * units::kMinute);
+    b.run(4 * units::kMinute);
+
+    EXPECT_EQ(obs::toPrometheusText(a.observability()),
+              obs::toPrometheusText(b.observability()));
+    EXPECT_EQ(obs::toTraceJsonLines(a.traces()),
+              obs::toTraceJsonLines(b.traces()));
+}
+
+TEST(SimObsTest, TracingDoesNotPerturbTheSimulation)
+{
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    const auto plan = erPlan(config, node);
+
+    SimOptions off;
+    off.seed = 7;
+    ClusterSimulation base(plan, node, stepTraffic(), off);
+    const auto r_off = base.run(4 * units::kMinute);
+    ClusterSimulation traced(plan, node, stepTraffic(),
+                             tracedOptions());
+    const auto r_on = traced.run(4 * units::kMinute);
+
+    EXPECT_EQ(r_off.arrivals, r_on.arrivals);
+    EXPECT_EQ(r_off.completed, r_on.completed);
+    EXPECT_EQ(r_off.slaViolations, r_on.slaViolations);
+    EXPECT_DOUBLE_EQ(r_off.meanLatencyMs, r_on.meanLatencyMs);
+    EXPECT_EQ(r_off.peakMemory, r_on.peakMemory);
+    EXPECT_EQ(r_off.scaleEvents, r_on.scaleEvents);
+}
+
+TEST(SimObsTest, ExternalRegistryIsShared)
+{
+    // A caller-provided registry receives the simulation's metrics, so
+    // several components can publish into one scrape surface.
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    const auto plan = erPlan(config, node);
+    auto registry = std::make_shared<obs::Registry>();
+    SimOptions opt;
+    opt.seed = 7;
+    opt.observability = registry;
+    ClusterSimulation sim(plan, node,
+                          workload::TrafficPattern::constant(20.0),
+                          opt);
+    const auto r = sim.run(units::kMinute);
+    EXPECT_EQ(registry.get(), &sim.observability());
+    EXPECT_EQ(registry->value("erec_arrivals_total"),
+              static_cast<double>(r.arrivals));
+}
+
+} // namespace
+} // namespace erec::sim

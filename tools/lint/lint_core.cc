@@ -161,6 +161,74 @@ ruleApplies(const LineRule &rule, FileClass cls, const std::string &path)
     return true;
 }
 
+/**
+ * excess-default-params: walk every top-level parenthesised group in
+ * the stripped text and count `=` tokens at paren depth 1 outside any
+ * nested braces/brackets — each one is a defaulted parameter in a
+ * declaration (comparison and compound-assignment operators are
+ * excluded by their neighbouring characters; `= default` / `= 0`
+ * follow the closing paren and never count). More than two defaults
+ * means the signature should take an options struct instead.
+ */
+void
+checkExcessDefaultParams(const std::string &path,
+                         const std::string &stripped,
+                         const Suppressions &sup,
+                         std::vector<Diagnostic> *diags)
+{
+    static const std::string kCompoundOps = "=<>!+-*/%&|^";
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = stripped.size();
+    while (i < n) {
+        const char c = stripped[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (c != '(') {
+            ++i;
+            continue;
+        }
+        const int start_line = line;
+        int paren = 1;
+        int nested = 0; // {} / [] nesting inside the group
+        int defaults = 0;
+        ++i;
+        while (i < n && paren > 0) {
+            const char g = stripped[i];
+            if (g == '\n')
+                ++line;
+            else if (g == '(')
+                ++paren;
+            else if (g == ')')
+                --paren;
+            else if (g == '{' || g == '[')
+                ++nested;
+            else if (g == '}' || g == ']')
+                nested = std::max(0, nested - 1);
+            else if (g == '=' && paren == 1 && nested == 0) {
+                const char prev = stripped[i - 1];
+                const char next = i + 1 < n ? stripped[i + 1] : '\0';
+                if (kCompoundOps.find(prev) == std::string::npos &&
+                    next != '=')
+                    ++defaults;
+            }
+            ++i;
+        }
+        if (defaults > 2 &&
+            !sup.allows(start_line, "excess-default-params")) {
+            diags->push_back(
+                {path, start_line, "excess-default-params",
+                 "parameter list declares " + std::to_string(defaults) +
+                     " defaulted parameters; fold them into an "
+                     "options struct (like sim::ExperimentOptions) so "
+                     "call sites stay readable"});
+        }
+    }
+}
+
 /** First non-blank line of stripped content, with its line number. */
 std::pair<std::string, int>
 firstCodeLine(const std::vector<std::string> &stripped_lines)
@@ -304,7 +372,8 @@ lintContent(const std::string &path, const std::string &content)
         return diags;
 
     const auto raw_lines = splitLines(content);
-    const auto stripped_lines = splitLines(stripCommentsAndStrings(content));
+    const std::string stripped = stripCommentsAndStrings(content);
+    const auto stripped_lines = splitLines(stripped);
     const auto sup = collectSuppressions(raw_lines);
 
     for (const auto &rule : lineRules()) {
@@ -331,6 +400,9 @@ lintContent(const std::string &path, const std::string &content)
                              "headers must start with #pragma once"});
         }
     }
+
+    if (cls == FileClass::LibraryHeader)
+        checkExcessDefaultParams(path, stripped, sup, &diags);
 
     if (cls == FileClass::LibraryHeader) {
         static const std::regex kNamespace(R"(\bnamespace\s+erec\b)");

@@ -20,6 +20,12 @@
  *    and tools.
  *  - header-pragma-once: every header starts with #pragma once.
  *  - header-namespace: library headers declare namespace erec.
+ *  - excess-default-params: no parameter list in a library header may
+ *    declare more than two defaulted parameters — long trails of
+ *    positional defaults are unreadable at call sites; fold them into
+ *    an options struct (e.g. sim::ExperimentOptions, StackOptions).
+ *    The allow() marker must sit on the line that opens the
+ *    parameter list.
  *
  * A violation line can be suppressed with a trailing comment:
  *     // erec-lint: allow(<rule>)

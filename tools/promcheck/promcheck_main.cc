@@ -1,0 +1,86 @@
+/**
+ * @file
+ * promcheck: validate telemetry files emitted by the obs exporters.
+ *
+ *   promcheck FILE...
+ *
+ * `.prom` files are checked against the Prometheus text exposition
+ * format (including histogram invariants); `.jsonl` files are re-read
+ * through the trace importer, which rejects malformed trace lines.
+ * Exit status is non-zero when any file fails.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "elasticrec/obs/export.h"
+#include "tools/promcheck/prom_parser.h"
+
+namespace {
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+bool
+checkPromFile(const std::string &path, const std::string &text)
+{
+    const auto result = erec::tools::parsePrometheusText(text);
+    if (!result.ok) {
+        for (const auto &e : result.errors)
+            std::cerr << path << ": " << e << "\n";
+        return false;
+    }
+    std::cout << path << ": OK (" << result.samples.size()
+              << " samples, " << result.types.size() << " families)\n";
+    return true;
+}
+
+bool
+checkTraceFile(const std::string &path, const std::string &text)
+{
+    try {
+        const auto traces = erec::obs::readTraceJsonLines(text);
+        std::cout << path << ": OK (" << traces.size() << " traces)\n";
+        return true;
+    } catch (const std::exception &e) {
+        std::cerr << path << ": " << e.what() << "\n";
+        return false;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: promcheck FILE...\n"
+                  << "  validates .prom (Prometheus text) and .jsonl "
+                     "(trace) telemetry files\n";
+        return 2;
+    }
+    bool ok = true;
+    for (int i = 1; i < argc; ++i) {
+        const std::string path = argv[i];
+        std::ifstream in(path);
+        if (!in) {
+            std::cerr << path << ": cannot open\n";
+            ok = false;
+            continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (endsWith(path, ".jsonl"))
+            ok = checkTraceFile(path, buf.str()) && ok;
+        else
+            ok = checkPromFile(path, buf.str()) && ok;
+    }
+    return ok ? 0 : 1;
+}
