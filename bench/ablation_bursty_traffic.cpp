@@ -41,6 +41,7 @@ main(int argc, char **argv)
     for (const auto &plan : {plans.elasticRec, plans.modelWise}) {
         sim::ClusterSimulation sim(plan, node, traffic, opt);
         const auto r = sim.run(duration);
+        bench::printSloVerdicts(plan.policy, sim);
         bench::exportSimMetrics(metrics_dir,
                                 "bursty_" + plan.policy, sim);
         t.addRow({plan.policy,

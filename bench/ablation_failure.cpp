@@ -39,6 +39,7 @@ runWithFailure(const core::DeploymentPlan &plan,
     const SimTime crash_at = 3 * units::kMinute;
     sim.injectPodFailure(victim, crash_at, 1);
     const auto r = sim.run(10 * units::kMinute);
+    bench::printSloVerdicts(plan.policy, sim);
     bench::exportSimMetrics(metrics_dir, "failure_" + plan.policy,
                             sim);
 

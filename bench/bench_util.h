@@ -74,8 +74,10 @@ metricsOutDir(int argc, char **argv)
 }
 
 /**
- * Dump one simulation's telemetry as `<dir>/<stem>.prom` (plus
- * `<stem>_traces.jsonl` when tracing was on). No-op when `dir` is
+ * Dump one simulation's telemetry as `<dir>/<stem>.prom` plus
+ * `<stem>_traces.jsonl` (when tracing was on) and `<stem>_alerts.jsonl`
+ * (the SLO alert log, always written so "no transitions" is a
+ * recorded verdict rather than a missing file). No-op when `dir` is
  * empty, so binaries can call it unconditionally.
  */
 inline void
@@ -85,12 +87,29 @@ exportSimMetrics(const std::string &dir, const std::string &stem,
     if (dir.empty())
         return;
     const auto &traces = sim.traces();
-    obs::writeMetricsFiles(dir, stem, sim.observability(),
-                           traces.empty() ? nullptr : &traces);
+    obs::ExportArtifacts artifacts;
+    artifacts.traces = traces.empty() ? nullptr : &traces;
+    artifacts.alerts = &sim.alertEvents();
+    obs::writeMetricsFiles(dir, stem, sim.observability(), artifacts);
     std::cout << "telemetry: " << dir << "/" << stem << ".prom";
     if (!traces.empty())
         std::cout << " (+" << stem << "_traces.jsonl)";
-    std::cout << "\n";
+    std::cout << " (+" << stem << "_alerts.jsonl)\n";
+}
+
+/** One line per SLO rule transition, for the bench stdout logs. */
+inline void
+printSloVerdicts(const std::string &label, sim::ClusterSimulation &sim)
+{
+    const auto &events = sim.alertEvents();
+    std::cout << label << " SLO verdict: " << events.size()
+              << " alert transition" << (events.size() == 1 ? "" : "s")
+              << "\n";
+    for (const auto &e : events)
+        std::cout << "  [" << TablePrinter::num(units::toSeconds(e.time), 1)
+                  << "s] " << e.alert << " "
+                  << (e.firing ? "FIRING" : "resolved")
+                  << " (value " << TablePrinter::num(e.value, 3) << ")\n";
 }
 
 /**

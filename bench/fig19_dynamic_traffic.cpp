@@ -77,6 +77,10 @@ main(int argc, char **argv)
     printSeries(er_result, "ElasticRec");
     printSeries(mw_result, "model-wise");
 
+    std::cout << "\n";
+    bench::printSloVerdicts("elasticrec", er);
+    bench::printSloVerdicts("model-wise", mw);
+
     bench::exportSimMetrics(metrics_dir, "fig19_elasticrec", er);
     bench::exportSimMetrics(metrics_dir, "fig19_modelwise", mw);
 

@@ -78,8 +78,10 @@ exportTelemetry(const std::string &dir, const std::string &stem,
     if (dir.empty())
         return;
     const auto &traces = sim.traces();
-    obs::writeMetricsFiles(dir, stem, sim.observability(),
-                           traces.empty() ? nullptr : &traces);
+    obs::ExportArtifacts artifacts;
+    artifacts.traces = traces.empty() ? nullptr : &traces;
+    artifacts.alerts = &sim.alertEvents();
+    obs::writeMetricsFiles(dir, stem, sim.observability(), artifacts);
     std::cout << "  telemetry: " << dir << "/" << stem << ".prom\n";
 }
 

@@ -49,20 +49,32 @@ stage_lint() {
 }
 
 # End-to-end smoke: run the quickstart example and the Figure 19 bench
-# with --metrics-out, then validate every emitted telemetry file
-# (Prometheus text + trace JSON-lines) with promcheck.
+# with --metrics-out, validate every emitted telemetry file (Prometheus
+# text + trace/alert JSON-lines) with promcheck, then render the run
+# report and gate on the "lost-queries" alert — steady fig19 traffic
+# must never lose a query. (The SLA-ratio and p95 alerts legitimately
+# fire during fig19's traffic spike, so they don't gate.) Set
+# ELASTICREC_SMOKE_OUT to keep the telemetry + report (CI uploads it
+# as an artifact); by default a temp dir is used and removed.
 stage_smoke() {
     local tree="$repo_root/build-check-release"
     cmake -B "$tree" -S "$repo_root" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DELASTICREC_WERROR=ON
     cmake --build "$tree" -j "$jobs" \
-        --target quickstart fig19_dynamic_traffic promcheck
+        --target quickstart fig19_dynamic_traffic promcheck erec_report
     local out
-    out="$(mktemp -d)"
-    trap 'rm -rf "$out"' RETURN
+    if [ -n "${ELASTICREC_SMOKE_OUT:-}" ]; then
+        out="$ELASTICREC_SMOKE_OUT"
+        mkdir -p "$out"
+    else
+        out="$(mktemp -d)"
+        trap 'rm -rf "$out"' RETURN
+    fi
     "$tree/examples/quickstart" --metrics-out "$out"
     "$tree/bench/fig19_dynamic_traffic" --metrics-out "$out"
     "$tree/tools/promcheck/promcheck" "$out"/*.prom "$out"/*.jsonl
+    "$tree/tools/report/erec_report" "$out" \
+        --fail-on-alert lost-queries | tee "$out/report.txt"
 }
 
 stage="${1:-all}"

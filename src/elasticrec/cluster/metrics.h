@@ -23,6 +23,7 @@
 #include "elasticrec/common/stats.h"
 #include "elasticrec/common/units.h"
 #include "elasticrec/obs/metric.h"
+#include "elasticrec/obs/sketch.h"
 
 namespace erec::cluster {
 
@@ -86,7 +87,9 @@ class MetricsRegistry
             : rate(rate_window), latency(latency_window)
         {}
         RateWindow rate;
-        WindowedPercentile latency;
+        // Streaming sketch, not a raw sample store: latencyQuantile sits
+        // on the HPA evaluation path and must stay O(1) per completion.
+        obs::WindowedQuantileSketch latency;
         std::uint64_t slaViolations = 0;
         // Resolved obs handles; null when no registry is bound.
         obs::Counter *obsCompletions = nullptr;

@@ -345,6 +345,10 @@ void
 writePrometheusText(std::ostream &os, const Registry &registry)
 {
     for (const auto &[name, fam] : registry.families()) {
+        // A family can outlive its last child (Registry::remove); a
+        // header with no samples is useless and trips strict parsers.
+        if (fam.children.empty())
+            continue;
         os << "# HELP " << name << ' ' << escapeHelp(fam.help) << '\n';
         os << "# TYPE " << name << ' ' << toString(fam.kind) << '\n';
         for (const auto &[key, child] : fam.children) {
@@ -435,7 +439,7 @@ readTraceJsonLines(const std::string &text)
 void
 writeMetricsFiles(const std::string &dir, const std::string &stem,
                   const Registry &registry,
-                  const std::deque<QueryTrace> *traces)
+                  const ExportArtifacts &artifacts)
 {
     namespace fs = std::filesystem;
     std::error_code ec;
@@ -448,12 +452,19 @@ writeMetricsFiles(const std::string &dir, const std::string &stem,
               "cannot open '" << prom.string() << "' for writing");
     writePrometheusText(prom_os, registry);
 
-    if (traces != nullptr) {
+    if (artifacts.traces != nullptr) {
         const fs::path jsonl = fs::path(dir) / (stem + "_traces.jsonl");
         std::ofstream trace_os(jsonl);
         ERC_CHECK(trace_os.good(),
                   "cannot open '" << jsonl.string() << "' for writing");
-        writeTraceJsonLines(trace_os, *traces);
+        writeTraceJsonLines(trace_os, *artifacts.traces);
+    }
+    if (artifacts.alerts != nullptr) {
+        const fs::path jsonl = fs::path(dir) / (stem + "_alerts.jsonl");
+        std::ofstream alert_os(jsonl);
+        ERC_CHECK(alert_os.good(),
+                  "cannot open '" << jsonl.string() << "' for writing");
+        writeAlertJsonLines(alert_os, *artifacts.alerts);
     }
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "elasticrec/obs/metric.h"
+#include "elasticrec/obs/slo.h"
 #include "elasticrec/obs/trace.h"
 
 namespace erec::obs {
@@ -44,14 +45,23 @@ std::string toTraceJsonLines(const std::deque<QueryTrace> &traces);
  */
 std::vector<QueryTrace> readTraceJsonLines(const std::string &text);
 
+/** Optional side artifacts bundled with a metrics dump. */
+struct ExportArtifacts
+{
+    /** Sampled query traces -> `<stem>_traces.jsonl` (null: skip). */
+    const std::deque<QueryTrace> *traces = nullptr;
+    /** Alert transitions -> `<stem>_alerts.jsonl` (null: skip). */
+    const std::vector<AlertEvent> *alerts = nullptr;
+};
+
 /**
- * Dump one run's exports into a directory: `<dir>/<stem>.prom` and,
- * when `traces` is non-null, `<dir>/<stem>_traces.jsonl`. The
- * directory is created if needed. This is the backend of the bench
- * binaries' `--metrics-out DIR` flag.
+ * Dump one run's exports into a directory: `<dir>/<stem>.prom` plus
+ * the artifact files selected in `artifacts`. The directory is created
+ * if needed. This is the backend of the bench binaries'
+ * `--metrics-out DIR` flag.
  */
 void writeMetricsFiles(const std::string &dir, const std::string &stem,
                        const Registry &registry,
-                       const std::deque<QueryTrace> *traces = nullptr);
+                       const ExportArtifacts &artifacts = {});
 
 } // namespace erec::obs

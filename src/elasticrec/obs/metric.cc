@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 
 #include "elasticrec/common/error.h"
 
@@ -55,6 +56,9 @@ Histogram::Histogram(std::vector<double> bounds)
 void
 Histogram::observe(double x)
 {
+    if (std::isnan(x))
+        return; // A NaN would poison sum() for the rest of the run.
+    x = std::max(x, 0.0); // Latencies cannot be negative; saturate.
     const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
     ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
     ++count_;

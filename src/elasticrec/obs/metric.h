@@ -63,6 +63,8 @@ class Histogram
     /** @param bounds Strictly increasing bucket upper bounds. */
     explicit Histogram(std::vector<double> bounds);
 
+    /** Record one sample. NaN is dropped and negative values saturate
+     *  to zero (latencies cannot be negative) so sum() stays sane. */
     void observe(double x);
 
     const std::vector<double> &bounds() const { return bounds_; }

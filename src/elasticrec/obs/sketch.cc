@@ -1,0 +1,187 @@
+#include "elasticrec/obs/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::obs {
+
+namespace {
+
+/** Values at or below this floor land in the exact zero bucket. Far
+ *  below one SimTime tick, so every real latency is bucketed. */
+constexpr double kZeroFloor = 1e-9;
+
+} // namespace
+
+QuantileSketch::QuantileSketch(double relative_accuracy)
+    : alpha_(relative_accuracy),
+      gamma_((1.0 + relative_accuracy) / (1.0 - relative_accuracy)),
+      invLogGamma_(1.0 / std::log(gamma_))
+{
+    ERC_CHECK(relative_accuracy > 0.0 && relative_accuracy < 1.0,
+              "sketch relative accuracy must be in (0, 1), got "
+                  << relative_accuracy);
+}
+
+int
+QuantileSketch::indexFor(double x) const
+{
+    return static_cast<int>(std::ceil(std::log(x) * invLogGamma_));
+}
+
+double
+QuantileSketch::valueFor(int index) const
+{
+    // Log-space midpoint of (gamma^(i-1), gamma^i]: within a factor
+    // (1 +/- alpha) of every sample in the bucket.
+    return 2.0 * std::pow(gamma_, index) / (1.0 + gamma_);
+}
+
+void
+QuantileSketch::insert(double x)
+{
+    if (std::isnan(x))
+        return; // Rejected: NaN would poison sum() and every quantile.
+    ++count_;
+    sum_ += std::max(x, 0.0);
+    if (x <= kZeroFloor) {
+        ++zeroCount_;
+        return;
+    }
+    const int idx = indexFor(x);
+    if (buckets_.empty()) {
+        offset_ = idx;
+        buckets_.push_back(1);
+        return;
+    }
+    if (idx < offset_) {
+        buckets_.insert(buckets_.begin(),
+                        static_cast<std::size_t>(offset_ - idx), 0);
+        offset_ = idx;
+    } else if (idx >= offset_ + static_cast<int>(buckets_.size())) {
+        buckets_.resize(static_cast<std::size_t>(idx - offset_) + 1, 0);
+    }
+    ++buckets_[static_cast<std::size_t>(idx - offset_)];
+}
+
+void
+QuantileSketch::merge(const QuantileSketch &other)
+{
+    ERC_CHECK(alpha_ == other.alpha_,
+              "cannot merge sketches with different accuracies ("
+                  << alpha_ << " vs " << other.alpha_ << ")");
+    count_ += other.count_;
+    sum_ += other.sum_;
+    zeroCount_ += other.zeroCount_;
+    if (other.buckets_.empty())
+        return;
+    if (buckets_.empty()) {
+        buckets_ = other.buckets_;
+        offset_ = other.offset_;
+        return;
+    }
+    const int lo = std::min(offset_, other.offset_);
+    const int hi = std::max(
+        offset_ + static_cast<int>(buckets_.size()),
+        other.offset_ + static_cast<int>(other.buckets_.size()));
+    if (lo < offset_) {
+        buckets_.insert(buckets_.begin(),
+                        static_cast<std::size_t>(offset_ - lo), 0);
+        offset_ = lo;
+    }
+    if (hi > offset_ + static_cast<int>(buckets_.size()))
+        buckets_.resize(static_cast<std::size_t>(hi - offset_), 0);
+    for (std::size_t k = 0; k < other.buckets_.size(); ++k)
+        buckets_[static_cast<std::size_t>(
+            other.offset_ - offset_ + static_cast<int>(k))] +=
+            other.buckets_[k];
+}
+
+double
+QuantileSketch::quantile(double q) const
+{
+    ERC_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+    if (count_ == 0)
+        return 0.0;
+    const double rank = q * static_cast<double>(count_ - 1);
+    if (rank < static_cast<double>(zeroCount_))
+        return 0.0;
+    std::uint64_t cumulative = zeroCount_;
+    for (std::size_t k = 0; k < buckets_.size(); ++k) {
+        cumulative += buckets_[k];
+        if (static_cast<double>(cumulative) > rank)
+            return valueFor(offset_ + static_cast<int>(k));
+    }
+    // Unreachable when counts are consistent; return the top bucket.
+    return valueFor(offset_ + static_cast<int>(buckets_.size()) - 1);
+}
+
+void
+QuantileSketch::clear()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    zeroCount_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+WindowedQuantileSketch::WindowedQuantileSketch(SimTime window,
+                                               std::size_t slices,
+                                               double relative_accuracy)
+    : window_(window), span_((window + static_cast<SimTime>(slices) - 1) /
+                             static_cast<SimTime>(slices)),
+      alpha_(relative_accuracy)
+{
+    ERC_CHECK(window > 0, "window must be positive");
+    ERC_CHECK(slices >= 2, "need at least two window slices");
+    ring_.reserve(slices);
+    for (std::size_t i = 0; i < slices; ++i)
+        ring_.push_back({-1, QuantileSketch(relative_accuracy)});
+}
+
+bool
+WindowedQuantileSketch::live(const Slice &s, SimTime now) const
+{
+    if (s.bucket < 0)
+        return false;
+    // A slice covers [bucket*span, (bucket+1)*span); it is live while
+    // any part of that range is inside (now - window, now].
+    const SimTime end = (s.bucket + 1) * span_;
+    return end > now - window_ && s.bucket * span_ <= now;
+}
+
+void
+WindowedQuantileSketch::add(SimTime t, double x)
+{
+    const std::int64_t bucket = t / span_;
+    Slice &slot = ring_[static_cast<std::size_t>(bucket) % ring_.size()];
+    if (slot.bucket != bucket) {
+        slot.sketch.clear();
+        slot.bucket = bucket;
+    }
+    slot.sketch.insert(x);
+}
+
+double
+WindowedQuantileSketch::quantile(SimTime now, double q) const
+{
+    QuantileSketch merged(alpha_);
+    for (const Slice &s : ring_)
+        if (live(s, now))
+            merged.merge(s.sketch);
+    return merged.quantile(q);
+}
+
+std::uint64_t
+WindowedQuantileSketch::count(SimTime now) const
+{
+    std::uint64_t n = 0;
+    for (const Slice &s : ring_)
+        if (live(s, now))
+            n += s.sketch.count();
+    return n;
+}
+
+} // namespace erec::obs

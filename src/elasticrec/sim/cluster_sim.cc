@@ -41,7 +41,10 @@ ClusterSimulation::ClusterSimulation(core::DeploymentPlan plan,
       scheduler_(node_),
       obs_(options.observability ? options.observability
                                  : std::make_shared<obs::Registry>()),
-      tracer_(options.traceSampleEvery)
+      tracer_(options.traceSampleEvery),
+      slo_([this](const obs::SloSignal &signal, SimTime now) {
+          return readSloSignal(signal, now);
+      })
 {
     ERC_CHECK(!plan_.shards.empty(), "deployment plan has no shards");
     metrics_.bindObservability(obs_.get());
@@ -121,6 +124,55 @@ ClusterSimulation::ClusterSimulation(core::DeploymentPlan plan,
         deployments_.emplace(spec.name, std::move(ds));
     }
     ERC_CHECK(!frontendName_.empty(), "plan has no frontend shard");
+
+    // Default SLO rules: mirror the control loop's own targets so a
+    // run's verdict is "did the autoscaler hold the line".
+    {
+        obs::AlertRule p95;
+        p95.name = "frontend-p95";
+        p95.signal = {obs::SignalKind::P95, frontendName_};
+        p95.threshold = units::toMillis(options_.sla) *
+                        options_.denseLatencyTargetFraction;
+        p95.holdFor = 5 * units::kSecond;
+        slo_.addRule(std::move(p95));
+
+        obs::AlertRule ratio;
+        ratio.name = "sla-violation-ratio";
+        ratio.signal = {obs::SignalKind::ViolationRatio, frontendName_};
+        ratio.threshold = 0.01;
+        slo_.addRule(std::move(ratio));
+
+        obs::AlertRule lost;
+        lost.name = "lost-queries";
+        lost.signal = {obs::SignalKind::LostQueries, ""};
+        slo_.addRule(std::move(lost));
+    }
+    slo_.bindObservability(obs_.get());
+}
+
+double
+ClusterSimulation::readSloSignal(const obs::SloSignal &signal, SimTime now)
+{
+    switch (signal.kind) {
+      case obs::SignalKind::P95:
+        return units::toMillis(
+            metrics_.latencyQuantile(signal.target, now, 0.95));
+      case obs::SignalKind::ViolationRatio: {
+        const std::uint64_t done = metrics_.completions(signal.target);
+        if (done == 0)
+            return 0.0;
+        return static_cast<double>(
+                   metrics_.slaViolations(signal.target)) /
+               static_cast<double>(done);
+      }
+      case obs::SignalKind::Qps:
+        return metrics_.qps(signal.target, now);
+      case obs::SignalKind::GaugeValue:
+        return metrics_.gauge(signal.target);
+      case obs::SignalKind::LostQueries:
+        return static_cast<double>(lostQueries_);
+    }
+    return 0.0;
 }
 
 ClusterSimulation::DeploymentState &
@@ -546,6 +598,8 @@ ClusterSimulation::sampleTick(SimTime end)
         ds.lastBusySample = busy;
     }
 
+    slo_.evaluate(now);
+
     if (now + options_.sampleInterval <= end)
         queue_.scheduleAfter(options_.sampleInterval,
                              [this, end]() { sampleTick(end); });
@@ -560,6 +614,7 @@ ClusterSimulation::run(SimTime duration)
     lostQueries_ = 0;
     endTime_ = duration;
     tracer_.reset();
+    slo_.reset();
 
     // Baseline the scale-event counters so result_ reports only this
     // run's events even when the simulation object is reused.

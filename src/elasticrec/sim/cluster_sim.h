@@ -42,6 +42,7 @@
 #include "elasticrec/common/stats.h"
 #include "elasticrec/core/planner.h"
 #include "elasticrec/obs/metric.h"
+#include "elasticrec/obs/slo.h"
 #include "elasticrec/obs/trace.h"
 #include "elasticrec/rpc/channel.h"
 #include "elasticrec/sim/event_queue.h"
@@ -166,6 +167,18 @@ class ClusterSimulation
         return tracer_.traces();
     }
 
+    /**
+     * SLO alert engine, evaluated once per sample tick. Three default
+     * rules watch the frontend (p95 against the dense HPA target held
+     * for 5 s, cumulative SLA-violation ratio above 1%, any lost
+     * queries); add more with slo().addRule() before run().
+     */
+    obs::SloTracker &slo() { return slo_; }
+    const std::vector<obs::AlertEvent> &alertEvents() const
+    {
+        return slo_.events();
+    }
+
   private:
     struct DeploymentState
     {
@@ -191,6 +204,7 @@ class ClusterSimulation
     };
 
     DeploymentState &state(const std::string &name);
+    double readSloSignal(const obs::SloSignal &signal, SimTime now);
     std::uint32_t readyReplicas(const DeploymentState &ds) const;
     Bytes liveMemory() const;
     std::uint32_t liveNodes() const;
@@ -219,6 +233,7 @@ class ClusterSimulation
     cluster::Scheduler scheduler_;
     std::shared_ptr<obs::Registry> obs_;
     obs::Tracer tracer_;
+    obs::SloTracker slo_;
     obs::Counter *obsArrivals_ = nullptr;
 
     std::vector<std::string> deploymentOrder_;

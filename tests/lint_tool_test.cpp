@@ -93,6 +93,26 @@ TEST(LintToolTest, UnseededRandomnessCaughtEverywhere)
                          "unseeded-random"));
 }
 
+TEST(LintToolTest, WindowedPercentileOnlyInItsStatsHome)
+{
+    const std::string use = "WindowedPercentile p(window);\n";
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.cc", use),
+                        "windowed-percentile"));
+    EXPECT_TRUE(hasRule(lintContent("bench/b.cpp", use),
+                        "windowed-percentile"));
+    // Blessed home and its tests keep exercising the class directly.
+    EXPECT_FALSE(hasRule(lintContent("src/elasticrec/common/stats.cc",
+                                     use),
+                         "windowed-percentile"));
+    EXPECT_FALSE(hasRule(lintContent("tests/stats_test.cpp", use),
+                         "windowed-percentile"));
+    // Mentions in comments don't count.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.cc",
+                    "// replaces WindowedPercentile with a sketch\n"),
+        "windowed-percentile"));
+}
+
 TEST(LintToolTest, IostreamOnlyOutsideLibrary)
 {
     const std::string inc = "#include <iostream>\n";

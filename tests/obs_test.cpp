@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "elasticrec/common/error.h"
 #include "elasticrec/obs/export.h"
 #include "elasticrec/obs/metric.h"
@@ -32,6 +34,20 @@ TEST(HistogramTest, BucketBoundariesAreInclusiveUpper)
     EXPECT_EQ(h.bucketCount(3), 1u); // +Inf
     EXPECT_EQ(h.count(), 6u);
     EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 9.0);
+}
+
+TEST(HistogramTest, NanDroppedAndNegativesSaturateToZero)
+{
+    Histogram h({1.0, 2.0});
+    h.observe(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(h.count(), 0u) << "NaN must not be counted";
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    // A negative latency is a clock artifact; it lands in the lowest
+    // bucket as 0 instead of corrupting the sum.
+    h.observe(-5.0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
 }
 
 TEST(HistogramTest, RejectsNonIncreasingBounds)
@@ -173,6 +189,67 @@ TEST(TracerTest, FinishStampsCompletionAndSortsSpans)
     ASSERT_EQ(trace->spans.size(), 2u);
     EXPECT_EQ(trace->spans[0].name, "early");
     EXPECT_EQ(trace->spans[1].name, "late");
+}
+
+TEST(TracerTest, ResetMidRunDropsTracesAndRestartsSampling)
+{
+    Tracer t(2);
+    for (int i = 0; i < 5; ++i) {
+        QueryTrace *trace = t.maybeSample(i * 10);
+        if (trace != nullptr)
+            t.finish(trace, i * 10 + 5);
+    }
+    ASSERT_EQ(t.traces().size(), 3u); // arrivals 0, 2, 4
+    t.reset();
+    EXPECT_EQ(t.seen(), 0u);
+    EXPECT_TRUE(t.traces().empty());
+    // The very next arrival is sampled again, as at a fresh start.
+    EXPECT_NE(t.maybeSample(1000), nullptr);
+    EXPECT_EQ(t.maybeSample(1010), nullptr);
+    EXPECT_EQ(t.traces().front().queryId, 0u);
+}
+
+TEST(TracerTest, UnfinishedTraceRecordsALostQuery)
+{
+    Tracer t(1);
+    QueryTrace *trace = t.maybeSample(500);
+    ASSERT_NE(trace, nullptr);
+    trace->addSpan("sparse/s0/queue", 500, 900);
+    // The pod crashed: finish() is never called.
+    EXPECT_FALSE(trace->completed);
+    EXPECT_EQ(trace->completion, 0);
+    ASSERT_EQ(trace->spans.size(), 1u);
+    EXPECT_EQ(trace->spans[0].end, 900);
+}
+
+TEST(TracerTest, FinishKeepsEqualStartSpanInsertionOrder)
+{
+    // Parallel fan-out spans start at the same instant; the sort must
+    // be stable so traced runs stay byte-reproducible.
+    Tracer t(1);
+    QueryTrace *trace = t.maybeSample(0);
+    ASSERT_NE(trace, nullptr);
+    trace->addSpan("rpc/s1/request", 100, 300);
+    trace->addSpan("rpc/s0/request", 100, 200);
+    trace->addSpan("dense/queue", 0, 100);
+    t.finish(trace, 400);
+    ASSERT_EQ(trace->spans.size(), 3u);
+    EXPECT_EQ(trace->spans[0].name, "dense/queue");
+    EXPECT_EQ(trace->spans[1].name, "rpc/s1/request");
+    EXPECT_EQ(trace->spans[2].name, "rpc/s0/request");
+}
+
+TEST(ExportTest, SkipsFamiliesWithNoChildren)
+{
+    // remove() can empty a family (last pod gauge gone); the export
+    // must not emit a header-only family, which promcheck rejects.
+    Registry r;
+    r.gauge("erec_pod_busy", "Busy.", {{"pod", "p0"}}).set(1);
+    r.counter("erec_done_total", "Done.").inc();
+    r.remove("erec_pod_busy", {{"pod", "p0"}});
+    const std::string text = toPrometheusText(r);
+    EXPECT_EQ(text.find("erec_pod_busy"), std::string::npos);
+    EXPECT_NE(text.find("erec_done_total"), std::string::npos);
 }
 
 TEST(ExportTest, TraceJsonLinesRoundTrip)

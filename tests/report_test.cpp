@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for per-stage latency attribution and report rendering
+ * (elasticrec/obs/report): span-name normalization, stage aggregation
+ * over hand-built traces, alert-log rollups, the text renderers, and a
+ * full-simulation cross-check where every query is traced and the
+ * attribution totals must match the run's own SimResult accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "elasticrec/core/planner.h"
+#include "elasticrec/hw/platform.h"
+#include "elasticrec/obs/report.h"
+#include "elasticrec/sim/cluster_sim.h"
+#include "elasticrec/sim/experiment.h"
+
+namespace erec::obs {
+namespace {
+
+TEST(StageOfTest, StripsPerDeploymentSegment)
+{
+    EXPECT_EQ(stageOf("sparse/rm1-sparse-0/queue"), "sparse/queue");
+    EXPECT_EQ(stageOf("sparse/rm1-sparse-0/service"), "sparse/service");
+    EXPECT_EQ(stageOf("rpc/rm1-sparse-1/request"), "rpc/request");
+    EXPECT_EQ(stageOf("rpc/rm1-sparse-1/response"), "rpc/response");
+    // One- and two-segment names are already stage names.
+    EXPECT_EQ(stageOf("dense/compute"), "dense/compute");
+    EXPECT_EQ(stageOf("mono/queue"), "mono/queue");
+    EXPECT_EQ(stageOf("merge"), "merge");
+}
+
+QueryTrace
+completedTrace(std::uint64_t id, SimTime arrival, SimTime completion)
+{
+    QueryTrace t;
+    t.queryId = id;
+    t.arrival = arrival;
+    t.completion = completion;
+    t.completed = true;
+    return t;
+}
+
+TEST(AttributeStagesTest, AggregatesNormalizedStages)
+{
+    std::vector<QueryTrace> traces;
+    // Query 0: 10 ms end to end; queue 2 ms, two shard RPCs 4 ms each.
+    auto a = completedTrace(0, 0, 10 * units::kMillisecond);
+    a.addSpan("dense/queue", 0, 2 * units::kMillisecond);
+    a.addSpan("rpc/s0/request", 2 * units::kMillisecond,
+              6 * units::kMillisecond);
+    a.addSpan("rpc/s1/request", 2 * units::kMillisecond,
+              6 * units::kMillisecond);
+    traces.push_back(a);
+    // Query 1: 20 ms end to end; queue 6 ms.
+    auto b = completedTrace(1, 100 * units::kMillisecond,
+                            120 * units::kMillisecond);
+    b.addSpan("dense/queue", 100 * units::kMillisecond,
+              106 * units::kMillisecond);
+    traces.push_back(b);
+    // Query 2: lost — spans must not contribute.
+    QueryTrace lost;
+    lost.queryId = 2;
+    lost.arrival = 200 * units::kMillisecond;
+    lost.addSpan("dense/queue", 200 * units::kMillisecond,
+                 201 * units::kMillisecond);
+    traces.push_back(lost);
+
+    const auto report = attributeStages(traces);
+    EXPECT_EQ(report.tracedQueries, 3u);
+    EXPECT_EQ(report.completedTraces, 2u);
+    EXPECT_EQ(report.lostTraces, 1u);
+    EXPECT_DOUBLE_EQ(report.endToEndTotalMs, 30.0);
+    EXPECT_DOUBLE_EQ(report.meanEndToEndMs, 15.0);
+
+    ASSERT_EQ(report.stages.size(), 2u);
+    // dense/queue: 2 + 6 = 8 ms total, rpc/request: 4 + 4 = 8 ms;
+    // equal totals tie-break by name.
+    EXPECT_EQ(report.stages[0].stage, "dense/queue");
+    EXPECT_EQ(report.stages[0].spans, 2u);
+    EXPECT_DOUBLE_EQ(report.stages[0].totalMs, 8.0);
+    EXPECT_DOUBLE_EQ(report.stages[0].meanMs, 4.0);
+    EXPECT_DOUBLE_EQ(report.stages[0].shareOfEndToEnd, 8.0 / 30.0);
+    EXPECT_EQ(report.stages[1].stage, "rpc/request");
+    EXPECT_EQ(report.stages[1].spans, 2u);
+    EXPECT_DOUBLE_EQ(report.stages[1].totalMs, 8.0);
+}
+
+TEST(AttributeStagesTest, EmptyInputYieldsEmptyReport)
+{
+    const auto report = attributeStages(std::vector<QueryTrace>{});
+    EXPECT_TRUE(report.stages.empty());
+    EXPECT_EQ(report.tracedQueries, 0u);
+    EXPECT_DOUBLE_EQ(report.endToEndTotalMs, 0.0);
+}
+
+TEST(SummarizeAlertsTest, RollsUpTransitionsPerAlert)
+{
+    std::vector<AlertEvent> events;
+    events.push_back({1 * units::kSecond, "a", true, 2.0});
+    events.push_back({2 * units::kSecond, "a", false, 0.5});
+    events.push_back({3 * units::kSecond, "b", true, 9.0});
+    events.push_back({4 * units::kSecond, "a", true, 3.0});
+
+    const auto verdicts = summarizeAlerts(events);
+    ASSERT_EQ(verdicts.size(), 2u);
+    EXPECT_EQ(verdicts[0].alert, "a");
+    EXPECT_EQ(verdicts[0].fired, 2u);
+    EXPECT_EQ(verdicts[0].resolved, 1u);
+    EXPECT_TRUE(verdicts[0].firingAtEnd);
+    EXPECT_EQ(verdicts[1].alert, "b");
+    EXPECT_EQ(verdicts[1].fired, 1u);
+    EXPECT_EQ(verdicts[1].resolved, 0u);
+    EXPECT_TRUE(verdicts[1].firingAtEnd);
+    EXPECT_TRUE(summarizeAlerts({}).empty());
+}
+
+TEST(ReportRenderTest, SectionsAreSelfDescribing)
+{
+    std::ostringstream empty_table;
+    writeStageTable(empty_table, attributeStages(std::vector<QueryTrace>{}));
+    EXPECT_NE(empty_table.str().find("no completed traces"),
+              std::string::npos);
+
+    std::ostringstream pass;
+    writeSloVerdicts(pass, {});
+    EXPECT_NE(pass.str().find("PASS"), std::string::npos);
+
+    std::vector<AlertEvent> events = {
+        {5 * units::kSecond, "lost-queries", true, 3.0}};
+    std::ostringstream verdicts;
+    writeSloVerdicts(verdicts, summarizeAlerts(events));
+    EXPECT_NE(verdicts.str().find("lost-queries"), std::string::npos);
+
+    std::ostringstream timeline;
+    writeAlertTimeline(timeline, events);
+    EXPECT_NE(timeline.str().find("FIRING"), std::string::npos);
+    std::ostringstream no_timeline;
+    writeAlertTimeline(no_timeline, {});
+    EXPECT_NE(no_timeline.str().find("empty"), std::string::npos);
+}
+
+TEST(ReportSimTest, StageSumsCrossCheckSimResult)
+{
+    // Trace every query, then the attribution totals are not samples
+    // but the exact population the SimResult accounted.
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    core::Planner planner = core::Planner::forPlatform(config, node);
+    const auto plan = planner.planElasticRec({sim::cdfFor(config, 256)});
+    sim::SimOptions opt;
+    opt.seed = 11;
+    opt.traceSampleEvery = 1;
+    sim::ClusterSimulation sim(plan, node,
+                               workload::TrafficPattern::constant(25.0),
+                               opt);
+    const auto r = sim.run(2 * units::kMinute);
+    ASSERT_GT(r.completed, 0u);
+
+    const auto report = attributeStages(sim.traces());
+    EXPECT_EQ(report.tracedQueries, r.arrivals);
+    EXPECT_EQ(report.completedTraces, r.completed);
+    EXPECT_EQ(report.lostTraces, r.arrivals - r.completed);
+
+    // Mean end-to-end latency of the traces is the run's mean latency.
+    EXPECT_NEAR(report.meanEndToEndMs, r.meanLatencyMs,
+                1e-9 * r.meanLatencyMs);
+    EXPECT_NEAR(report.endToEndTotalMs,
+                r.meanLatencyMs * static_cast<double>(r.completed),
+                1e-6 * report.endToEndTotalMs);
+
+    // Every span lies inside its query, so a stage with one span per
+    // query (the frontend stages) cannot contribute more than the
+    // summed end-to-end latency; fan-out stages (one span per shard
+    // RPC) may, which is exactly the overlap the report calls out.
+    ASSERT_FALSE(report.stages.empty());
+    bool saw_frontend_stage = false;
+    for (const auto &stage : report.stages) {
+        EXPECT_GT(stage.spans, 0u) << stage.stage;
+        if (stage.spans == report.completedTraces) {
+            saw_frontend_stage = true;
+            EXPECT_LE(stage.totalMs,
+                      report.endToEndTotalMs * (1 + 1e-9))
+                << stage.stage;
+        }
+        EXPECT_NEAR(stage.totalMs / report.endToEndTotalMs,
+                    stage.shareOfEndToEnd, 1e-12)
+            << stage.stage;
+    }
+    EXPECT_TRUE(saw_frontend_stage);
+}
+
+} // namespace
+} // namespace erec::obs

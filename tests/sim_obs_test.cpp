@@ -71,7 +71,8 @@ TEST(SimObsTest, ExportedTelemetryCrossChecksSimResult)
                      "erec_sim_obs_test";
     std::filesystem::remove_all(dir);
     obs::writeMetricsFiles(dir.string(), "run", sim.observability(),
-                           &sim.traces());
+                           {.traces = &sim.traces(),
+                            .alerts = &sim.alertEvents()});
 
     // The Prometheus export parses and passes histogram invariants.
     const auto prom =
@@ -189,6 +190,87 @@ TEST(SimObsTest, TracingDoesNotPerturbTheSimulation)
     EXPECT_DOUBLE_EQ(r_off.meanLatencyMs, r_on.meanLatencyMs);
     EXPECT_EQ(r_off.peakMemory, r_on.peakMemory);
     EXPECT_EQ(r_off.scaleEvents, r_on.scaleEvents);
+}
+
+TEST(SimObsTest, PromcheckRejectsHeaderOnlyFamilies)
+{
+    const auto result = tools::parsePrometheusText(
+        "# HELP erec_ghost A family with no samples.\n"
+        "# TYPE erec_ghost gauge\n"
+        "# TYPE erec_live counter\n"
+        "erec_live 3\n");
+    EXPECT_FALSE(result.ok);
+    ASSERT_EQ(result.errors.size(), 1u);
+    EXPECT_NE(result.errors[0].find("erec_ghost"), std::string::npos);
+    EXPECT_NE(result.errors[0].find("no samples"), std::string::npos);
+}
+
+TEST(SimObsTest, PodFailureFiresLostQueriesAlert)
+{
+    // The failure-ablation scenario in miniature: crash a frontend pod
+    // mid-run and the default "lost-queries" rule must transition to
+    // firing (and stay firing — lost_queries is cumulative), with the
+    // transition visible both in the alert log and as exported
+    // counters.
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    const auto plan = erPlan(config, node);
+    SimOptions opt;
+    opt.seed = 11;
+    ClusterSimulation sim(plan, node,
+                          workload::TrafficPattern::constant(60.0),
+                          opt);
+    sim.injectPodFailure(plan.frontendShard().name, units::kMinute, 1);
+    sim.run(3 * units::kMinute);
+    ASSERT_GT(sim.lostQueries(), 0u)
+        << "crash must lose in-flight queries";
+
+    EXPECT_TRUE(sim.slo().firing("lost-queries"));
+    std::uint64_t fired = 0, resolved = 0;
+    SimTime first_firing = 0;
+    for (const auto &e : sim.alertEvents()) {
+        if (e.alert != "lost-queries")
+            continue;
+        if (e.firing) {
+            ++fired;
+            if (first_firing == 0)
+                first_firing = e.time;
+            EXPECT_GT(e.value, 0.0);
+        } else {
+            ++resolved;
+        }
+    }
+    EXPECT_EQ(fired, 1u);
+    EXPECT_EQ(resolved, 0u) << "cumulative losses never resolve";
+    EXPECT_GE(first_firing, units::kMinute)
+        << "alert cannot predate the crash";
+
+    const auto &reg = sim.observability();
+    EXPECT_EQ(reg.value("erec_alert_transitions_total",
+                        {{"alert", "lost-queries"},
+                         {"transition", "firing"}}),
+              1.0);
+    EXPECT_EQ(reg.value("erec_alert_firing",
+                        {{"alert", "lost-queries"}}),
+              1.0);
+    EXPECT_EQ(reg.value("erec_lost_queries"),
+              static_cast<double>(sim.lostQueries()));
+}
+
+TEST(SimObsTest, SteadyRunKeepsLostQueriesAlertQuiet)
+{
+    const auto config = model::rm1();
+    const auto node = hw::cpuOnlyNode();
+    SimOptions opt;
+    opt.seed = 7;
+    ClusterSimulation sim(erPlan(config, node), node,
+                          workload::TrafficPattern::constant(20.0),
+                          opt);
+    sim.run(2 * units::kMinute);
+    EXPECT_EQ(sim.lostQueries(), 0u);
+    EXPECT_FALSE(sim.slo().firing("lost-queries"));
+    for (const auto &e : sim.alertEvents())
+        EXPECT_NE(e.alert, "lost-queries");
 }
 
 TEST(SimObsTest, ExternalRegistryIsShared)

@@ -1,0 +1,201 @@
+// Tests for the streaming quantile sketch: relative-error bound against
+// exact quantiles, lossless merging, allocation behaviour after warm-up,
+// input hygiene (NaN / negatives), and sliding-window semantics.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/common/rng.h"
+#include "elasticrec/common/units.h"
+#include "elasticrec/obs/sketch.h"
+
+namespace {
+
+using erec::SimTime;
+using erec::obs::QuantileSketch;
+using erec::obs::WindowedQuantileSketch;
+namespace units = erec::units;
+
+double
+exactQuantile(std::vector<double> samples, double q)
+{
+    std::sort(samples.begin(), samples.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1));
+    return samples[rank];
+}
+
+std::vector<double>
+lognormalSamples(std::size_t n)
+{
+    erec::Rng rng(1234);
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Box-Muller from two uniforms: heavy-ish latency-like tail.
+        const double u1 = std::max(rng.uniform(), 1e-12);
+        const double u2 = rng.uniform();
+        const double z =
+            std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307 * u2);
+        samples.push_back(std::exp(0.7 * z) * 50.0);
+    }
+    return samples;
+}
+
+TEST(QuantileSketch, RelativeErrorBoundOnSkewedWorkload)
+{
+    const auto samples = lognormalSamples(20000);
+    QuantileSketch sketch(0.01);
+    for (double x : samples)
+        sketch.insert(x);
+    ASSERT_EQ(sketch.count(), samples.size());
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+        const double exact = exactQuantile(samples, q);
+        const double approx = sketch.quantile(q);
+        EXPECT_NEAR(approx, exact, 0.02 * exact)
+            << "q=" << q << " exact=" << exact;
+    }
+}
+
+TEST(QuantileSketch, RelativeErrorBoundOnUniformGrid)
+{
+    QuantileSketch sketch(0.01);
+    std::vector<double> samples;
+    for (int i = 1; i <= 10000; ++i) {
+        samples.push_back(static_cast<double>(i));
+        sketch.insert(static_cast<double>(i));
+    }
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+        const double exact = exactQuantile(samples, q);
+        EXPECT_NEAR(sketch.quantile(q), exact, 0.02 * exact) << "q=" << q;
+    }
+}
+
+TEST(QuantileSketch, MergedPodSketchesEqualDeploymentSketch)
+{
+    const auto samples = lognormalSamples(6000);
+    // Deployment-level sketch fed the union of all samples.
+    QuantileSketch whole(0.01);
+    for (double x : samples)
+        whole.insert(x);
+    // Three "pod" sketches fed disjoint interleaved shards, merged.
+    QuantileSketch pods[3] = {QuantileSketch(0.01), QuantileSketch(0.01),
+                              QuantileSketch(0.01)};
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        pods[i % 3].insert(samples[i]);
+    QuantileSketch merged(0.01);
+    for (const auto &pod : pods)
+        merged.merge(pod);
+
+    EXPECT_EQ(merged.count(), whole.count());
+    // Sums differ only by float accumulation order across pods.
+    EXPECT_NEAR(merged.sum(), whole.sum(), 1e-9 * whole.sum());
+    for (double q = 0.0; q <= 1.0; q += 0.01)
+        EXPECT_DOUBLE_EQ(merged.quantile(q), whole.quantile(q)) << "q=" << q;
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedAccuracy)
+{
+    QuantileSketch a(0.01);
+    QuantileSketch b(0.02);
+    EXPECT_THROW(a.merge(b), erec::ConfigError);
+}
+
+TEST(QuantileSketch, NoAllocationAfterWarmup)
+{
+    const auto samples = lognormalSamples(5000);
+    QuantileSketch sketch(0.01);
+    for (double x : samples)
+        sketch.insert(x);
+    const std::size_t warm = sketch.bucketArraySize();
+    // Replaying values inside the seen range must not grow the bucket
+    // array: insert stays O(1) with no per-sample allocation.
+    for (double x : samples)
+        sketch.insert(x);
+    EXPECT_EQ(sketch.bucketArraySize(), warm);
+}
+
+TEST(QuantileSketch, NanDroppedNegativeSaturatesToZero)
+{
+    QuantileSketch sketch;
+    sketch.insert(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(sketch.count(), 0u);
+    EXPECT_EQ(sketch.sum(), 0.0);
+
+    sketch.insert(-5.0);
+    sketch.insert(10.0);
+    EXPECT_EQ(sketch.count(), 2u);
+    EXPECT_DOUBLE_EQ(sketch.sum(), 10.0); // negative saturated, not added
+    EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 0.0);
+    EXPECT_FALSE(std::isnan(sketch.quantile(0.5)));
+}
+
+TEST(QuantileSketch, EmptyAndClear)
+{
+    QuantileSketch sketch;
+    EXPECT_EQ(sketch.quantile(0.5), 0.0);
+    sketch.insert(3.0);
+    sketch.clear();
+    EXPECT_EQ(sketch.count(), 0u);
+    EXPECT_EQ(sketch.sum(), 0.0);
+    EXPECT_EQ(sketch.quantile(0.99), 0.0);
+}
+
+TEST(QuantileSketch, RejectsBadAccuracy)
+{
+    EXPECT_THROW(QuantileSketch(0.0), erec::ConfigError);
+    EXPECT_THROW(QuantileSketch(1.0), erec::ConfigError);
+}
+
+TEST(WindowedQuantileSketch, OldSamplesExpire)
+{
+    WindowedQuantileSketch sketch(10 * units::kSecond);
+    // A burst of slow samples early, then fast samples much later.
+    for (int i = 0; i < 100; ++i)
+        sketch.add(i * units::kMillisecond, 500.0);
+    const SimTime later = 60 * units::kSecond;
+    for (int i = 0; i < 100; ++i)
+        sketch.add(later + i * units::kMillisecond, 10.0);
+    // At `later` the early burst has left the window entirely.
+    EXPECT_EQ(sketch.count(later + units::kSecond), 100u);
+    EXPECT_NEAR(sketch.quantile(later + units::kSecond, 0.95), 10.0, 0.5);
+}
+
+TEST(WindowedQuantileSketch, WindowCoversRecentSamples)
+{
+    WindowedQuantileSketch sketch(30 * units::kSecond);
+    for (int i = 0; i < 30; ++i)
+        sketch.add(i * units::kSecond, static_cast<double>(i + 1));
+    const SimTime now = 29 * units::kSecond;
+    // All 30 samples are within the trailing 30 s window.
+    EXPECT_EQ(sketch.count(now), 30u);
+    EXPECT_NEAR(sketch.quantile(now, 1.0), 30.0, 0.02 * 30.0);
+    EXPECT_NEAR(sketch.quantile(now, 0.0), 1.0, 0.02 * 1.0);
+}
+
+TEST(WindowedQuantileSketch, Deterministic)
+{
+    auto run = [] {
+        WindowedQuantileSketch sketch(5 * units::kSecond, 4);
+        const auto samples = lognormalSamples(2000);
+        for (std::size_t i = 0; i < samples.size(); ++i)
+            sketch.add(static_cast<SimTime>(i) * 10 * units::kMillisecond,
+                       samples[i]);
+        return sketch.quantile(20 * units::kSecond, 0.95);
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(WindowedQuantileSketch, RejectsBadConfig)
+{
+    EXPECT_THROW(WindowedQuantileSketch(0), erec::ConfigError);
+    EXPECT_THROW(WindowedQuantileSketch(units::kSecond, 1),
+                 erec::ConfigError);
+}
+
+} // namespace

@@ -135,6 +135,17 @@ lineRules()
             {"common/rng.h", "common/rng.cc"},
         },
         {
+            "windowed-percentile",
+            std::regex(R"(\bWindowedPercentile\b)"),
+            "WindowedPercentile keeps every raw sample; monitoring "
+            "paths must use obs::WindowedQuantileSketch "
+            "(elasticrec/obs/sketch.h) for O(1) inserts and mergeable "
+            "state",
+            {FileClass::LibrarySource, FileClass::LibraryHeader,
+             FileClass::BenchSource, FileClass::ExampleSource},
+            {"common/stats.h", "common/stats.cc"},
+        },
+        {
             "iostream-in-library",
             std::regex(R"(^\s*#\s*include\s*<iostream>)"
                        R"(|\bstd\s*::\s*(cout|cerr|clog)\b)"),

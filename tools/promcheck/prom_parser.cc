@@ -380,6 +380,14 @@ parsePrometheusText(const std::string &text)
             checker.parseSample(line, &family_has_samples);
     }
     checker.checkHistograms();
+    // A TYPE'd family with zero samples is a header-only family: the
+    // exporter kept a family alive after its last child was removed.
+    checker.lineNo = 0;
+    for (const auto &[family, kind] : checker.result.types) {
+        if (!family_has_samples[family])
+            checker.fail("family '" + family +
+                         "' declares a TYPE but has no samples");
+    }
     checker.result.ok = checker.result.errors.empty();
     return checker.result;
 }

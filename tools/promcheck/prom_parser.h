@@ -14,7 +14,9 @@
  *   - sample values parse as floating point (inf/nan included);
  *   - histogram families expose `_bucket` series with ascending `le`
  *     bounds, non-decreasing cumulative counts, a `+Inf` bucket, and
- *     matching `_count` / `_sum` series.
+ *     matching `_count` / `_sum` series;
+ *   - no header-only families: a declared TYPE must be followed by at
+ *     least one sample of its family.
  */
 
 #include <cstddef>

@@ -5,8 +5,9 @@
  *   promcheck FILE...
  *
  * `.prom` files are checked against the Prometheus text exposition
- * format (including histogram invariants); `.jsonl` files are re-read
- * through the trace importer, which rejects malformed trace lines.
+ * format (including histogram invariants); `_alerts.jsonl` files are
+ * re-read through the alert-log importer and other `.jsonl` files
+ * through the trace importer, both of which reject malformed lines.
  * Exit status is non-zero when any file fails.
  */
 
@@ -55,6 +56,20 @@ checkTraceFile(const std::string &path, const std::string &text)
     }
 }
 
+bool
+checkAlertFile(const std::string &path, const std::string &text)
+{
+    try {
+        const auto events = erec::obs::readAlertJsonLines(text);
+        std::cout << path << ": OK (" << events.size()
+                  << " alert transitions)\n";
+        return true;
+    } catch (const std::exception &e) {
+        std::cerr << path << ": " << e.what() << "\n";
+        return false;
+    }
+}
+
 } // namespace
 
 int
@@ -77,7 +92,9 @@ main(int argc, char **argv)
         }
         std::ostringstream buf;
         buf << in.rdbuf();
-        if (endsWith(path, ".jsonl"))
+        if (endsWith(path, "_alerts.jsonl"))
+            ok = checkAlertFile(path, buf.str()) && ok;
+        else if (endsWith(path, ".jsonl"))
             ok = checkTraceFile(path, buf.str()) && ok;
         else
             ok = checkPromFile(path, buf.str()) && ok;
