@@ -6,22 +6,35 @@
 #   scripts/check.sh tsan    # TSan build, full ctest
 #   scripts/check.sh lint    # erec_lint + clang-tidy (if installed)
 #   scripts/check.sh smoke   # run example + fig bench, validate telemetry
+#   scripts/check.sh bench   # serving throughput sweep + benchdiff gate
 #   scripts/check.sh all     # every stage above, in order
 #
 # Each stage uses its own build tree (build-check-<stage>) so stages
 # never poison each other's CMake cache. CI runs the same stages; see
-# .github/workflows/ci.yml and scripts/ci.sh.
+# .github/workflows/ci.yml and scripts/ci.sh. When ccache is installed
+# it is wired in as the compiler launcher automatically (CI installs
+# it via ccache-action; locally it is optional).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
+# Belt-and-braces hang guard: per-test TIMEOUT properties exist in
+# tests/CMakeLists.txt, but older build trees may predate them.
+ctest_timeout=300
+
+cmake_launcher_args=()
+if command -v ccache >/dev/null 2>&1; then
+    cmake_launcher_args+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
 configure_build_test() {
     local tree="$1"
     shift
-    cmake -B "$tree" -S "$repo_root" "$@"
+    cmake -B "$tree" -S "$repo_root" "${cmake_launcher_args[@]}" "$@"
     cmake --build "$tree" -j "$jobs"
-    ctest --test-dir "$tree" --output-on-failure -j "$jobs"
+    ctest --test-dir "$tree" --output-on-failure -j "$jobs" \
+        --timeout "$ctest_timeout"
 }
 
 stage_build() {
@@ -43,9 +56,35 @@ stage_tsan() {
 
 stage_lint() {
     local tree="$repo_root/build-check-release"
-    cmake -B "$tree" -S "$repo_root" \
+    cmake -B "$tree" -S "$repo_root" "${cmake_launcher_args[@]}" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DELASTICREC_WERROR=ON
     cmake --build "$tree" -j "$jobs" --target lint
+}
+
+# Perf-regression gate: run the concurrent serving throughput sweep
+# (quick mode) and compare its QPS per worker count against the
+# checked-in conservative baseline with erec_benchdiff. Set
+# ELASTICREC_BENCH_OUT to keep BENCH_serving.json (CI uploads it as an
+# artifact); by default a temp dir is used and removed.
+stage_bench() {
+    local tree="$repo_root/build-check-release"
+    cmake -B "$tree" -S "$repo_root" "${cmake_launcher_args[@]}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DELASTICREC_WERROR=ON
+    cmake --build "$tree" -j "$jobs" \
+        --target serving_throughput erec_benchdiff
+    local out
+    if [ -n "${ELASTICREC_BENCH_OUT:-}" ]; then
+        out="$ELASTICREC_BENCH_OUT"
+        mkdir -p "$out"
+    else
+        out="$(mktemp -d)"
+        trap 'rm -rf "$out"' RETURN
+    fi
+    "$tree/bench/serving_throughput" --quick \
+        --out "$out/BENCH_serving.json"
+    "$tree/tools/benchdiff/erec_benchdiff" \
+        "$repo_root/bench/baselines/BENCH_serving.json" \
+        "$out/BENCH_serving.json" --tolerance 15%
 }
 
 # End-to-end smoke: run the quickstart example and the Figure 19 bench
@@ -84,15 +123,17 @@ case "$stage" in
   tsan) stage_tsan ;;
   lint) stage_lint ;;
   smoke) stage_smoke ;;
+  bench) stage_bench ;;
   all)
     stage_build
     stage_asan
     stage_tsan
     stage_lint
     stage_smoke
+    stage_bench
     ;;
   *)
-    echo "usage: check.sh [build|asan|tsan|lint|smoke|all]" >&2
+    echo "usage: check.sh [build|asan|tsan|lint|smoke|bench|all]" >&2
     exit 2
     ;;
 esac

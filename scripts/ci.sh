@@ -1,22 +1,25 @@
 #!/usr/bin/env bash
-# Local CI matrix: the same three gates .github/workflows/ci.yml runs,
+# Local CI matrix: the same gates .github/workflows/ci.yml runs,
 # sequentially, stopping at the first failure. Use this when iterating
 # without a GitHub runner.
 set -euo pipefail
 
 here="$(cd "$(dirname "$0")" && pwd)"
 
-echo "=== CI job 1/4: RelWithDebInfo + -Werror + ctest ==="
+echo "=== CI job 1/5: RelWithDebInfo + -Werror + ctest ==="
 "$here/check.sh" build
 
-echo "=== CI job 2/4: ASan+UBSan + ctest ==="
+echo "=== CI job 2/5: ASan+UBSan + ctest ==="
 "$here/check.sh" asan
 
-echo "=== CI job 3/4: TSan + ctest, then lint ==="
+echo "=== CI job 3/5: TSan + ctest, then lint ==="
 "$here/check.sh" tsan
 "$here/check.sh" lint
 
-echo "=== CI job 4/4: telemetry smoke ==="
+echo "=== CI job 4/5: telemetry smoke ==="
 "$here/check.sh" smoke
+
+echo "=== CI job 5/5: serving throughput + perf gate ==="
+"$here/check.sh" bench
 
 echo "=== CI matrix green ==="

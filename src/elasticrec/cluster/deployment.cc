@@ -16,6 +16,14 @@ resourceRequestFor(const core::ShardSpec &spec)
     return req;
 }
 
+runtime::ExecutorOptions
+executorOptionsFor(const core::ShardSpec &spec)
+{
+    runtime::ExecutorOptions opts;
+    opts.workers = std::max(1u, spec.cpuCores);
+    return opts;
+}
+
 Deployment::Deployment(core::ShardSpec spec, std::uint32_t initial_replicas)
     : spec_(std::move(spec)), desired_(std::max(1u, initial_replicas))
 {

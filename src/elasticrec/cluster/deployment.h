@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "elasticrec/core/planner.h"
+#include "elasticrec/runtime/executor.h"
 
 namespace erec::cluster {
 
@@ -26,6 +27,16 @@ struct ResourceRequest
 
 /** Build the pod resource request for a shard spec. */
 ResourceRequest resourceRequestFor(const core::ShardSpec &spec);
+
+/**
+ * Size a pod's serving executor from its shard spec: one worker per
+ * requested CPU core (so a replica actually exploits the cores the
+ * scheduler bin-packs for it), with the default batching knobs. This
+ * is the bridge between the planner's per-shard resource math and the
+ * functional runtime — bench/serving_throughput uses it to run a
+ * planned deployment on real threads.
+ */
+runtime::ExecutorOptions executorOptionsFor(const core::ShardSpec &spec);
 
 class Deployment
 {

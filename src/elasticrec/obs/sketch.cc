@@ -46,6 +46,7 @@ QuantileSketch::insert(double x)
         return; // Rejected: NaN would poison sum() and every quantile.
     ++count_;
     sum_ += std::max(x, 0.0);
+    max_ = std::max(max_, x);
     if (x <= kZeroFloor) {
         ++zeroCount_;
         return;
@@ -74,6 +75,7 @@ QuantileSketch::merge(const QuantileSketch &other)
                   << alpha_ << " vs " << other.alpha_ << ")");
     count_ += other.count_;
     sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
     zeroCount_ += other.zeroCount_;
     if (other.buckets_.empty())
         return;
@@ -125,6 +127,7 @@ QuantileSketch::clear()
     zeroCount_ = 0;
     count_ = 0;
     sum_ = 0.0;
+    max_ = 0.0;
 }
 
 WindowedQuantileSketch::WindowedQuantileSketch(SimTime window,

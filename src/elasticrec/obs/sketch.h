@@ -78,6 +78,18 @@ class QuantileSketch
     std::uint64_t count() const { return count_; }
     /** Sum of recorded samples (negatives saturated to zero). */
     double sum() const { return sum_; }
+    /** Mean of recorded samples (0 when empty). */
+    double mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+    /**
+     * Exact maximum sample seen (not bucket-quantized; negatives
+     * saturate to zero like sum()). 0 when empty. Merging takes the
+     * max of both sketches, so per-thread sketches report the true
+     * tail after folding.
+     */
+    double maxValue() const { return max_; }
     double relativeAccuracy() const { return alpha_; }
     /** Allocated bucket-array length (diagnostic: stops growing once
      *  the value range has been seen). */
@@ -100,6 +112,7 @@ class QuantileSketch
     std::uint64_t zeroCount_ = 0;
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
+    double max_ = 0.0;
 };
 
 /**

@@ -1,0 +1,162 @@
+#pragma once
+
+/**
+ * @file
+ * Bounded MPMC queue with request coalescing: the admission path of
+ * the concurrent serving executor. Producers push individual items
+ * (lookup requests); consumers pop *batches*, letting a worker
+ * amortize per-request overheads (RPC stack cost, cache warmup) the
+ * way DeepRecSys-style serving stacks batch inference queries.
+ *
+ * Coalescing policy, per popBatch() call:
+ *  - block until at least one item (or close()) is available;
+ *  - take everything queued, up to maxBatchSize;
+ *  - if the batch is still short and maxBatchDelay is non-zero, keep
+ *    waiting up to the delay for more items before returning.
+ *
+ * The capacity bound gives producers backpressure: push() blocks while
+ * the queue is full, so an overloaded executor slows its clients down
+ * instead of growing an unbounded backlog (the functional analogue of
+ * the simulator's bounded pod queues).
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/common/thread_annotations.h"
+
+namespace erec::runtime {
+
+/** Coalescing and backpressure knobs of a BatchQueue. */
+struct BatchQueueOptions
+{
+    /** Maximum queued items before push() blocks (backpressure). */
+    std::size_t capacity = 1024;
+    /** Largest batch one popBatch() call returns. */
+    std::size_t maxBatchSize = 8;
+    /**
+     * How long popBatch() lingers for more items once it holds a
+     * non-empty, non-full batch. Zero flushes immediately.
+     */
+    std::chrono::microseconds maxBatchDelay{100};
+};
+
+template <typename T>
+class BatchQueue
+{
+  public:
+    explicit BatchQueue(BatchQueueOptions options) : opts_(options)
+    {
+        ERC_CHECK(opts_.capacity >= 1, "queue capacity must be >= 1");
+        ERC_CHECK(opts_.maxBatchSize >= 1, "max batch size must be >= 1");
+        ERC_CHECK(opts_.maxBatchDelay.count() >= 0,
+                  "max batch delay must be non-negative");
+    }
+
+    /**
+     * Enqueue one item, blocking while the queue is at capacity.
+     * Returns false (item dropped) when the queue has been closed.
+     */
+    bool push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (items_.size() >= opts_.capacity && !closed_)
+            notFull_.wait(lock);
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        ++totalPushed_;
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Dequeue the next coalesced batch (1..maxBatchSize items, FIFO).
+     * An empty result means the queue is closed and fully drained.
+     */
+    std::vector<T> popBatch()
+    {
+        std::vector<T> batch;
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (items_.empty() && !closed_)
+            notEmpty_.wait(lock);
+        if (items_.empty())
+            return batch; // Closed and drained.
+        takeAvailable(&batch);
+        if (batch.size() < opts_.maxBatchSize &&
+            opts_.maxBatchDelay.count() > 0) {
+            const auto deadline =
+                std::chrono::steady_clock::now() + opts_.maxBatchDelay;
+            while (batch.size() < opts_.maxBatchSize && !closed_) {
+                if (notEmpty_.wait_until(lock, deadline) ==
+                    std::cv_status::timeout) {
+                    takeAvailable(&batch);
+                    break;
+                }
+                takeAvailable(&batch);
+            }
+        }
+        notFull_.notify_all();
+        return batch;
+    }
+
+    /**
+     * Reject future pushes and wake every waiter. Items already queued
+     * still drain through popBatch().
+     */
+    void close()
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    std::size_t depth() const
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    bool closed() const
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    /** Items accepted since construction (drops excluded). */
+    std::uint64_t totalPushed() const
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        return totalPushed_;
+    }
+
+    const BatchQueueOptions &options() const { return opts_; }
+
+  private:
+    void takeAvailable(std::vector<T> *batch) ERC_REQUIRES(mutex_)
+    {
+        while (batch->size() < opts_.maxBatchSize && !items_.empty()) {
+            batch->push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+    }
+
+    const BatchQueueOptions opts_;
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> items_ ERC_GUARDED_BY(mutex_);
+    bool closed_ ERC_GUARDED_BY(mutex_) = false;
+    std::uint64_t totalPushed_ ERC_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace erec::runtime

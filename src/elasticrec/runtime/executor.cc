@@ -1,0 +1,87 @@
+#include "elasticrec/runtime/executor.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::runtime {
+
+Executor::Executor(ExecutorOptions options) : opts_(options)
+{
+    ERC_CHECK(opts_.maxBatchSize >= 1, "max batch size must be >= 1");
+    ERC_CHECK(opts_.queueCapacity >= 1, "queue capacity must be >= 1");
+    if (opts_.workers > 0)
+        pool_ = std::make_unique<ThreadPool>(opts_.workers);
+}
+
+void
+Executor::parallelFor(std::size_t n,
+                      const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (pool_ == nullptr || n == 1 || ThreadPool::onWorkerThread()) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    // Stride the index space over the workers plus the calling thread;
+    // the caller takes stride 0 so it always participates and the call
+    // cannot deadlock on a busy pool unless the pool is wedged by
+    // unrelated long-running tasks.
+    const std::size_t strides = std::min(n, pool_->numThreads() + 1);
+    std::vector<std::future<void>> pending;
+    pending.reserve(strides - 1);
+    for (std::size_t s = 1; s < strides; ++s) {
+        pending.push_back(pool_->submit([&body, s, strides, n] {
+            for (std::size_t i = s; i < n; i += strides)
+                body(i);
+        }));
+    }
+    for (std::size_t i = 0; i < n; i += strides)
+        body(i);
+    for (auto &f : pending)
+        f.get();
+}
+
+ExecutorStats
+Executor::stats() const
+{
+    ExecutorStats s;
+    if (pool_ != nullptr) {
+        s.workers = pool_->numThreads();
+        s.queueDepth = pool_->queueDepth();
+        s.busyWorkers = pool_->busyWorkers();
+        s.tasksExecuted = pool_->tasksExecuted();
+    }
+    return s;
+}
+
+void
+Executor::publishStats(obs::Registry &registry,
+                       const obs::Labels &labels) const
+{
+    const ExecutorStats s = stats();
+    registry
+        .gauge("erec_executor_workers",
+               "Worker threads of the serving executor (0 = serial).",
+               labels)
+        .set(static_cast<double>(s.workers));
+    registry
+        .gauge("erec_executor_queue_depth",
+               "Tasks queued on the executor's pool right now.", labels)
+        .set(static_cast<double>(s.queueDepth));
+    registry
+        .gauge("erec_executor_busy_workers",
+               "Pool workers currently executing a task (occupancy).",
+               labels)
+        .set(static_cast<double>(s.busyWorkers));
+    registry
+        .gauge("erec_executor_tasks_executed",
+               "Tasks completed by the executor's pool since start.",
+               labels)
+        .set(static_cast<double>(s.tasksExecuted));
+}
+
+} // namespace erec::runtime

@@ -1,0 +1,95 @@
+#include "elasticrec/runtime/thread_pool.h"
+
+#include "elasticrec/common/error.h"
+
+namespace erec::runtime {
+
+namespace {
+
+/** Set for the lifetime of a worker thread's loop. */
+thread_local bool t_onPoolWorker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    ERC_CHECK(num_threads >= 1, "thread pool needs at least one worker");
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ERC_CHECK(!stopping_, "submit() on a stopping thread pool");
+        tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+std::size_t
+ThreadPool::queueDepth() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return tasks_.size();
+}
+
+std::size_t
+ThreadPool::busyWorkers() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return busy_;
+}
+
+std::uint64_t
+ThreadPool::tasksExecuted() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return executed_;
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return t_onPoolWorker;
+}
+
+// The unlock-run-relock shape below is the classic false positive of
+// the static analysis, hence the escape hatch; TSan covers the real
+// interleavings in tests/thread_pool_test.cpp.
+void
+ThreadPool::workerLoop() ERC_NO_THREAD_SAFETY_ANALYSIS
+{
+    t_onPoolWorker = true;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        while (tasks_.empty() && !stopping_)
+            cv_.wait(lock);
+        if (tasks_.empty())
+            return; // Stopping and fully drained.
+        auto task = std::move(tasks_.front());
+        tasks_.pop_front();
+        ++busy_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --busy_;
+        ++executed_;
+    }
+}
+
+} // namespace erec::runtime

@@ -28,6 +28,13 @@ DenseShardServer::DenseShardServer(
     }
 }
 
+void
+DenseShardServer::attachExecutor(
+    std::shared_ptr<runtime::Executor> executor)
+{
+    executor_ = std::move(executor);
+}
+
 std::vector<float>
 DenseShardServer::serve(const std::vector<float> &dense_in,
                         const std::vector<workload::SparseLookup> &lookups,
@@ -37,16 +44,61 @@ DenseShardServer::serve(const std::vector<float> &dense_in,
     ERC_CHECK(lookups.size() == config.numTables,
               "need one lookup set per table");
     const std::uint32_t dim = config.embeddingDim;
-    ++served_;
+    served_.fetch_add(1, std::memory_order_relaxed);
 
+    std::vector<float> bottom;
+    std::vector<std::vector<float>> pooled(config.numTables);
+
+    if (executor_ != nullptr && !executor_->serial()) {
+        // Concurrent path: bucketize sequentially (cheap and
+        // deterministic), then fan the bottom MLP plus every non-empty
+        // shard gather out over the executor. Partials land in
+        // per-shard buffers and are merged afterwards in fixed (table,
+        // shard) order, so the floating-point accumulation order — and
+        // therefore every output byte — matches the serial path.
+        std::vector<std::vector<workload::SparseLookup>> buckets(
+            config.numTables);
+        struct GatherJob
+        {
+            std::uint32_t table;
+            std::uint32_t shard;
+        };
+        std::vector<GatherJob> jobs;
+        for (std::uint32_t t = 0; t < config.numTables; ++t) {
+            buckets[t] = bucketizers_[t].bucketize(lookups[t]);
+            for (std::uint32_t s = 0; s < buckets[t].size(); ++s)
+                if (!buckets[t][s].indices.empty())
+                    jobs.push_back({t, s});
+        }
+        std::vector<std::vector<float>> parts(jobs.size());
+        executor_->parallelFor(jobs.size() + 1, [&](std::size_t i) {
+            if (i == 0) {
+                bottom = dlrm_->runBottom(dense_in, batch);
+                return;
+            }
+            const GatherJob &job = jobs[i - 1];
+            parts[i - 1] = shards_[job.table][job.shard]->gather(
+                buckets[job.table][job.shard]);
+        });
+        for (std::uint32_t t = 0; t < config.numTables; ++t)
+            pooled[t].assign(batch * dim, 0.0f);
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+            auto &dst = pooled[jobs[j].table];
+            for (std::size_t i = 0; i < dst.size(); ++i)
+                dst[i] += parts[j][i];
+        }
+        return dlrm_->interactAndPredict(bottom, pooled, batch);
+    }
+
+    // Serial path (no executor, or a serial one): the pre-executor
+    // code, byte for byte.
     // (1) Bottom MLP runs concurrently with the gather RPCs in the real
     // system; functionally it is just computed first here.
-    auto bottom = dlrm_->runBottom(dense_in, batch);
+    bottom = dlrm_->runBottom(dense_in, batch);
 
     // (2)+(3) Bucketize, gather from every shard, and merge. Sum
     // pooling distributes over the shard partition, so the per-table
     // pooled output is the elementwise sum of the shard responses.
-    std::vector<std::vector<float>> pooled(config.numTables);
     for (std::uint32_t t = 0; t < config.numTables; ++t) {
         const auto buckets = bucketizers_[t].bucketize(lookups[t]);
         pooled[t].assign(batch * dim, 0.0f);

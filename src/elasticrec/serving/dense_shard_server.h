@@ -16,12 +16,14 @@
  * the same flow's timing at cluster scale.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "elasticrec/core/bucketizer.h"
 #include "elasticrec/model/dlrm.h"
+#include "elasticrec/runtime/executor.h"
 #include "elasticrec/serving/sparse_shard_server.h"
 #include "elasticrec/workload/query_generator.h"
 
@@ -59,16 +61,31 @@ class DenseShardServer
     /** Serve a generated query using synthetic dense features. */
     std::vector<float> serve(const workload::Query &query) const;
 
+    /**
+     * Run the bottom MLP and the per-shard gather fan-out of every
+     * query through an executor (null detaches). With a non-serial
+     * executor the bottom MLP and all shard gathers of one query run
+     * concurrently, but the shard partials are merged in fixed (table,
+     * shard) order, so outputs stay bit-identical to serial mode.
+     * serve() itself is thread-safe either way; attach/detach is not
+     * and must happen before serving starts.
+     */
+    void attachExecutor(std::shared_ptr<runtime::Executor> executor);
+
     const model::Dlrm &model() const { return *dlrm_; }
 
     /** Queries served end to end by this frontend (load accounting). */
-    std::uint64_t queriesServed() const { return served_; }
+    std::uint64_t queriesServed() const
+    {
+        return served_.load(std::memory_order_relaxed);
+    }
 
   private:
     std::shared_ptr<const model::Dlrm> dlrm_;
     std::vector<core::Bucketizer> bucketizers_;
     std::vector<std::vector<std::shared_ptr<SparseShardServer>>> shards_;
-    mutable std::uint64_t served_ = 0;
+    std::shared_ptr<runtime::Executor> executor_;
+    mutable std::atomic<std::uint64_t> served_{0};
 };
 
 } // namespace erec::serving

@@ -15,6 +15,7 @@ MonolithicServer::serve(const std::vector<float> &dense_in,
                         const std::vector<workload::SparseLookup> &lookups,
                         std::size_t batch) const
 {
+    served_.fetch_add(1, std::memory_order_relaxed);
     return dlrm_->forward(dense_in, lookups, batch);
 }
 

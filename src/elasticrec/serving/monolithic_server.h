@@ -7,6 +7,8 @@
  * the full DLRM forward locally with no bucketization or RPC.
  */
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -20,7 +22,11 @@ class MonolithicServer
   public:
     explicit MonolithicServer(std::shared_ptr<const model::Dlrm> dlrm);
 
-    /** Serve one query (original-ID lookups) end to end. */
+    /**
+     * Serve one query (original-ID lookups) end to end. Thread-safe:
+     * the model is immutable, so a QueryDispatcher may drive one
+     * monolithic server from several executor workers.
+     */
     std::vector<float>
     serve(const std::vector<float> &dense_in,
           const std::vector<workload::SparseLookup> &lookups,
@@ -34,8 +40,16 @@ class MonolithicServer
 
     const model::Dlrm &model() const { return *dlrm_; }
 
+    /** Queries served by this server (load accounting, like the
+     *  dense frontend's counter). */
+    std::uint64_t queriesServed() const
+    {
+        return served_.load(std::memory_order_relaxed);
+    }
+
   private:
     std::shared_ptr<const model::Dlrm> dlrm_;
+    mutable std::atomic<std::uint64_t> served_{0};
 };
 
 } // namespace erec::serving

@@ -1,0 +1,159 @@
+#include "elasticrec/serving/query_dispatcher.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::serving {
+
+QueryDispatcher::QueryDispatcher(
+    ServeFn serve, std::shared_ptr<runtime::Executor> executor)
+    : serve_(std::move(serve)), executor_(std::move(executor)),
+      batchHist_(executor_ == nullptr ? 1
+                                      : executor_->options().maxBatchSize)
+{
+    ERC_CHECK(serve_ != nullptr, "null serve function");
+    ERC_CHECK(executor_ != nullptr, "null executor");
+    if (executor_->serial())
+        return; // Inline mode: no queue, no pumps.
+    const auto &opts = executor_->options();
+    runtime::BatchQueueOptions qopts;
+    qopts.capacity = opts.queueCapacity;
+    qopts.maxBatchSize = opts.maxBatchSize;
+    qopts.maxBatchDelay = std::chrono::microseconds(opts.maxBatchDelayUs);
+    queue_ = std::make_unique<runtime::BatchQueue<Job>>(qopts);
+    pumps_.reserve(executor_->workers());
+    for (std::size_t w = 0; w < executor_->workers(); ++w)
+        pumps_.push_back(executor_->submit([this] { pumpLoop(); }));
+}
+
+QueryDispatcher::~QueryDispatcher()
+{
+    drain();
+}
+
+std::future<std::vector<float>>
+QueryDispatcher::submit(workload::Query query)
+{
+    ERC_CHECK(!drained_.load(), "submit() on a drained dispatcher");
+    if (queue_ == nullptr) {
+        // Serial: serve inline on the caller's thread, byte-identical
+        // to calling the serve function directly.
+        Job job{std::move(query), {}};
+        auto future = job.result.get_future();
+        serveJob(&job);
+        batchesServed_.fetch_add(1, std::memory_order_relaxed);
+        batchHist_[0].fetch_add(1, std::memory_order_relaxed);
+        return future;
+    }
+    Job job{std::move(query), {}};
+    auto future = job.result.get_future();
+    const bool accepted = queue_->push(std::move(job));
+    ERC_ASSERT(accepted, "open dispatcher queue rejected a query");
+    return future;
+}
+
+void
+QueryDispatcher::drain()
+{
+    if (drained_.exchange(true))
+        return;
+    if (queue_ != nullptr)
+        queue_->close();
+    for (auto &p : pumps_)
+        p.get();
+    pumps_.clear();
+}
+
+std::uint64_t
+QueryDispatcher::queriesServed() const
+{
+    return queriesServed_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+QueryDispatcher::batchesServed() const
+{
+    return batchesServed_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t>
+QueryDispatcher::batchSizeHistogram() const
+{
+    std::vector<std::uint64_t> hist(batchHist_.size());
+    for (std::size_t i = 0; i < hist.size(); ++i)
+        hist[i] = batchHist_[i].load(std::memory_order_relaxed);
+    return hist;
+}
+
+double
+QueryDispatcher::meanBatchSize() const
+{
+    const std::uint64_t batches = batchesServed();
+    if (batches == 0)
+        return 0.0;
+    return static_cast<double>(queriesServed()) /
+           static_cast<double>(batches);
+}
+
+void
+QueryDispatcher::publishStats(obs::Registry &registry,
+                              const obs::Labels &labels) const
+{
+    registry
+        .gauge("erec_serving_queries_served",
+               "Queries served through the dispatcher.", labels)
+        .set(static_cast<double>(queriesServed()));
+    registry
+        .gauge("erec_serving_batches_served",
+               "Coalesced batches served through the dispatcher.",
+               labels)
+        .set(static_cast<double>(batchesServed()));
+    registry
+        .gauge("erec_serving_queue_depth",
+               "Queries waiting in the dispatcher's request queue.",
+               labels)
+        .set(queue_ == nullptr
+                 ? 0.0
+                 : static_cast<double>(queue_->depth()));
+    const auto hist = batchSizeHistogram();
+    for (std::size_t k = 0; k < hist.size(); ++k) {
+        obs::Labels child = labels;
+        child.emplace_back("batch_size", std::to_string(k + 1));
+        registry
+            .gauge("erec_serving_batches",
+                   "Served batches by coalesced batch size.", child)
+            .set(static_cast<double>(hist[k]));
+    }
+}
+
+void
+QueryDispatcher::serveJob(Job *job)
+{
+    try {
+        job->result.set_value(serve_(job->query));
+    } catch (...) {
+        job->result.set_exception(std::current_exception());
+    }
+    queriesServed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+QueryDispatcher::pumpLoop()
+{
+    for (;;) {
+        auto batch = queue_->popBatch();
+        if (batch.empty())
+            return; // Queue closed and drained.
+        for (auto &job : batch)
+            serveJob(&job);
+        batchesServed_.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t bin =
+            std::min(batch.size(), batchHist_.size()) - 1;
+        batchHist_[bin].fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+} // namespace erec::serving

@@ -32,9 +32,10 @@ SparseShardServer::gather(const workload::SparseLookup &local_lookup) const
     const std::size_t batch = local_lookup.batchSize();
     ERC_CHECK(batch > 0, "gather request must carry at least one item");
     std::vector<float> pooled(batch * table_->table().dim(), 0.0f);
-    rowsGathered_ += table_->gatherPool(shardId_, local_lookup.indices,
-                                        local_lookup.offsets,
-                                        pooled.data());
+    rowsGathered_.fetch_add(
+        table_->gatherPool(shardId_, local_lookup.indices,
+                           local_lookup.offsets, pooled.data()),
+        std::memory_order_relaxed);
     return pooled;
 }
 

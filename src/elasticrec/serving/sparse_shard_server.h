@@ -10,6 +10,7 @@
  * shard specs.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -36,18 +37,23 @@ class SparseShardServer
     /**
      * Serve one gather request: shard-local indices + full-batch
      * offsets, returning one pooled vector per batch item
-     * (batch x dim floats).
+     * (batch x dim floats). Thread-safe: the table is immutable and
+     * the load counter is atomic, so executor workers may gather from
+     * one shard concurrently.
      */
     std::vector<float>
     gather(const workload::SparseLookup &local_lookup) const;
 
     /** Total rows gathered by this server so far (load accounting). */
-    std::uint64_t rowsGathered() const { return rowsGathered_; }
+    std::uint64_t rowsGathered() const
+    {
+        return rowsGathered_.load(std::memory_order_relaxed);
+    }
 
   private:
     std::shared_ptr<const embedding::ShardedTable> table_;
     std::uint32_t shardId_;
-    mutable std::uint64_t rowsGathered_ = 0;
+    mutable std::atomic<std::uint64_t> rowsGathered_{0};
 };
 
 } // namespace erec::serving

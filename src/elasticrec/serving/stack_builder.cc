@@ -16,6 +16,15 @@ shardLabels(std::uint32_t table, std::uint32_t shard)
 
 } // namespace
 
+std::future<std::vector<float>>
+ElasticRecStack::submit(workload::Query query) const
+{
+    ERC_CHECK(dispatcher != nullptr,
+              "stack has no dispatcher; build it with "
+              "StackOptions::executor set");
+    return dispatcher->submit(std::move(query));
+}
+
 void
 ElasticRecStack::publishStats() const
 {
@@ -25,6 +34,10 @@ ElasticRecStack::publishStats() const
         ->gauge("erec_frontend_queries_served",
                 "Queries served end to end by the functional frontend.")
         .set(static_cast<double>(frontend->queriesServed()));
+    if (executor != nullptr)
+        executor->publishStats(*observability);
+    if (dispatcher != nullptr)
+        dispatcher->publishStats(*observability);
     for (std::uint32_t t = 0; t < shards.size(); ++t) {
         for (std::uint32_t s = 0; s < shards[t].size(); ++s) {
             observability
@@ -86,6 +99,16 @@ buildElasticRecStack(std::shared_ptr<const model::Dlrm> dlrm,
     }
     stack.frontend = std::make_shared<DenseShardServer>(
         dlrm, std::move(bucketizers), stack.shards);
+    if (options.executor != nullptr) {
+        stack.executor = options.executor;
+        stack.frontend->attachExecutor(stack.executor);
+        auto frontend = stack.frontend;
+        stack.dispatcher = std::make_shared<QueryDispatcher>(
+            [frontend](const workload::Query &q) {
+                return frontend->serve(q);
+            },
+            stack.executor);
+    }
     return stack;
 }
 

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "elasticrec/obs/metric.h"
+#include "elasticrec/runtime/executor.h"
 #include "elasticrec/serving/dense_shard_server.h"
+#include "elasticrec/serving/query_dispatcher.h"
 
 namespace erec::serving {
 
@@ -40,6 +42,14 @@ struct StackOptions
      * available on the stack.
      */
     std::shared_ptr<obs::Registry> observability = {};
+    /**
+     * When set, the frontend's bottom MLP + shard gathers fan out over
+     * this executor and the stack gets a QueryDispatcher so queries
+     * can be submitted concurrently (stack.submit). A serial executor
+     * (workers == 0) keeps everything inline and byte-identical to the
+     * executor-less path.
+     */
+    std::shared_ptr<runtime::Executor> executor = {};
 };
 
 /** A fully wired in-process ElasticRec deployment. */
@@ -50,10 +60,22 @@ struct ElasticRecStack
     std::vector<std::vector<std::shared_ptr<SparseShardServer>>> shards;
     /** Registry from StackOptions; null when none was supplied. */
     std::shared_ptr<obs::Registry> observability = {};
+    /** Executor from StackOptions; null when none was supplied. */
+    std::shared_ptr<runtime::Executor> executor = {};
+    /** Batching front door; non-null iff an executor was supplied. */
+    std::shared_ptr<QueryDispatcher> dispatcher = {};
+
+    /**
+     * Submit one query through the dispatcher (requires
+     * StackOptions::executor). Concurrency-safe; blocks on a full
+     * request queue.
+     */
+    std::future<std::vector<float>> submit(workload::Query query) const;
 
     /**
      * Snapshot serving counters (frontend queries served, per-shard
-     * rows gathered) into the registry. No-op without one.
+     * rows gathered, executor occupancy, dispatcher batching stats)
+     * into the registry. No-op without one.
      */
     void publishStats() const;
 };

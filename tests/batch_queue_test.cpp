@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for runtime::BatchQueue: coalescing respects maxBatchSize and
+ * FIFO order, the linger delay flushes short batches, the capacity
+ * bound backpressures producers, and close() drains cleanly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/runtime/batch_queue.h"
+
+namespace erec::runtime {
+namespace {
+
+BatchQueueOptions
+opts(std::size_t capacity, std::size_t max_batch,
+     std::chrono::microseconds delay)
+{
+    BatchQueueOptions o;
+    o.capacity = capacity;
+    o.maxBatchSize = max_batch;
+    o.maxBatchDelay = delay;
+    return o;
+}
+
+TEST(BatchQueueTest, CoalescesFifoUpToMaxBatchSize)
+{
+    BatchQueue<int> q(opts(64, 4, std::chrono::microseconds(0)));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(q.push(i));
+    EXPECT_EQ(q.depth(), 10u);
+
+    std::vector<int> seen;
+    std::vector<std::size_t> batch_sizes;
+    while (seen.size() < 10) {
+        const auto batch = q.popBatch();
+        ASSERT_FALSE(batch.empty());
+        ASSERT_LE(batch.size(), 4u);
+        batch_sizes.push_back(batch.size());
+        seen.insert(seen.end(), batch.begin(), batch.end());
+    }
+    // Everything queued, in order, with full batches first.
+    const std::vector<int> expect = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    EXPECT_EQ(seen, expect);
+    EXPECT_EQ(batch_sizes, (std::vector<std::size_t>{4, 4, 2}));
+    EXPECT_EQ(q.totalPushed(), 10u);
+}
+
+TEST(BatchQueueTest, LingerDelayCollectsLateArrivals)
+{
+    BatchQueue<int> q(opts(64, 4, std::chrono::milliseconds(200)));
+    ASSERT_TRUE(q.push(1));
+    std::thread late([&q] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        q.push(2);
+        q.push(3);
+    });
+    // popBatch holds a short batch and lingers: the late pushes land
+    // well inside the 200 ms window and must join this batch.
+    const auto batch = q.popBatch();
+    late.join();
+    EXPECT_EQ(batch, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(BatchQueueTest, ZeroDelayFlushesShortBatchImmediately)
+{
+    BatchQueue<int> q(opts(64, 8, std::chrono::microseconds(0)));
+    ASSERT_TRUE(q.push(42));
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto batch = q.popBatch();
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_EQ(batch, (std::vector<int>{42}));
+    EXPECT_LT(elapsed, std::chrono::seconds(5)); // No linger stall.
+}
+
+TEST(BatchQueueTest, FullBatchReturnsWithoutWaitingForDelay)
+{
+    // With maxBatchSize items already queued the linger must not run:
+    // an (absurd) hour-long delay would hang the test otherwise.
+    BatchQueue<int> q(opts(64, 2, std::chrono::hours(1)));
+    ASSERT_TRUE(q.push(1));
+    ASSERT_TRUE(q.push(2));
+    EXPECT_EQ(q.popBatch(), (std::vector<int>{1, 2}));
+}
+
+TEST(BatchQueueTest, CapacityBoundBackpressuresProducer)
+{
+    BatchQueue<int> q(opts(2, 2, std::chrono::microseconds(0)));
+    std::atomic<int> produced{0};
+    std::thread producer([&] {
+        for (int i = 0; i < 10; ++i) {
+            ASSERT_TRUE(q.push(i)); // Blocks while at capacity.
+            produced.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    std::vector<int> seen;
+    while (seen.size() < 10) {
+        // The bound holds at every observation point.
+        EXPECT_LE(q.depth(), 2u);
+        const auto batch = q.popBatch();
+        seen.insert(seen.end(), batch.begin(), batch.end());
+    }
+    producer.join();
+    EXPECT_EQ(produced.load(), 10);
+    EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0), 45);
+}
+
+TEST(BatchQueueTest, CloseRejectsPushesAndDrainsBacklog)
+{
+    BatchQueue<int> q(opts(64, 4, std::chrono::microseconds(0)));
+    ASSERT_TRUE(q.push(1));
+    ASSERT_TRUE(q.push(2));
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.push(3)); // Rejected, not queued.
+    EXPECT_EQ(q.popBatch(), (std::vector<int>{1, 2}));
+    EXPECT_TRUE(q.popBatch().empty()); // Closed and drained.
+    EXPECT_EQ(q.totalPushed(), 2u);
+}
+
+TEST(BatchQueueTest, CloseWakesBlockedConsumer)
+{
+    BatchQueue<int> q(opts(64, 4, std::chrono::microseconds(0)));
+    std::thread consumer([&q] { EXPECT_TRUE(q.popBatch().empty()); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    q.close();
+    consumer.join();
+}
+
+TEST(BatchQueueTest, RejectsBadOptions)
+{
+    EXPECT_THROW(BatchQueue<int>(
+                     opts(0, 4, std::chrono::microseconds(0))),
+                 ConfigError);
+    EXPECT_THROW(BatchQueue<int>(
+                     opts(4, 0, std::chrono::microseconds(0))),
+                 ConfigError);
+    EXPECT_THROW(BatchQueue<int>(
+                     opts(4, 4, std::chrono::microseconds(-1))),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace erec::runtime

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the perf-gate comparator (tools/benchdiff): JSON parsing,
+ * tolerance parsing, and the regression verdict per sweep point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "elasticrec/common/error.h"
+#include "tools/benchdiff/benchdiff_core.h"
+
+namespace erec::benchdiff {
+namespace {
+
+std::string
+benchJson(double qps1, double qps2)
+{
+    return "{\n  \"bench\": \"serving_throughput\",\n"
+           "  \"quick\": true,\n  \"sweep\": [\n"
+           "    {\"threads\": 1, \"qps\": " +
+           std::to_string(qps1) +
+           ", \"p50_ms\": 1.5},\n"
+           "    {\"threads\": 4, \"qps\": " +
+           std::to_string(qps2) +
+           ", \"p50_ms\": 2.0}\n  ],\n  \"scaling\": 2.0\n}\n";
+}
+
+TEST(BenchdiffJsonTest, ParsesBenchDocument)
+{
+    const auto doc = parseJson(benchJson(1000, 2500));
+    ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
+    const auto *bench = doc.find("bench");
+    ASSERT_NE(bench, nullptr);
+    EXPECT_EQ(bench->string, "serving_throughput");
+    EXPECT_TRUE(doc.find("quick")->boolean);
+    const auto *sweep = doc.find("sweep");
+    ASSERT_EQ(sweep->kind, JsonValue::Kind::Array);
+    ASSERT_EQ(sweep->array.size(), 2u);
+    EXPECT_DOUBLE_EQ(sweep->array[0].find("qps")->number, 1000.0);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(BenchdiffJsonTest, ParsesEscapesNegativesAndNulls)
+{
+    const auto doc = parseJson(
+        R"({"s": "a\"b\nc", "neg": -2.5e2, "none": null, "empty": {}})");
+    EXPECT_EQ(doc.find("s")->string, "a\"b\nc");
+    EXPECT_DOUBLE_EQ(doc.find("neg")->number, -250.0);
+    EXPECT_EQ(doc.find("none")->kind, JsonValue::Kind::Null);
+    EXPECT_TRUE(doc.find("empty")->object.empty());
+}
+
+TEST(BenchdiffJsonTest, RejectsMalformedInput)
+{
+    EXPECT_THROW(parseJson("{\"a\": 1} trailing"), ConfigError);
+    EXPECT_THROW(parseJson("{\"a\" 1}"), ConfigError);
+    EXPECT_THROW(parseJson("[1, 2"), ConfigError);
+    EXPECT_THROW(parseJson("{\"s\": \"unterminated}"), ConfigError);
+    EXPECT_THROW(parseJson(""), ConfigError);
+    EXPECT_THROW(parseJson("nope"), ConfigError);
+}
+
+TEST(BenchdiffToleranceTest, AcceptsPercentAndFraction)
+{
+    EXPECT_DOUBLE_EQ(parseTolerance("15%"), 0.15);
+    EXPECT_DOUBLE_EQ(parseTolerance("0.15"), 0.15);
+    EXPECT_DOUBLE_EQ(parseTolerance("0%"), 0.0);
+    EXPECT_THROW(parseTolerance("abc"), ConfigError);
+    EXPECT_THROW(parseTolerance("1.5"), ConfigError);
+    EXPECT_THROW(parseTolerance("-5%"), ConfigError);
+    EXPECT_THROW(parseTolerance(""), ConfigError);
+}
+
+TEST(BenchdiffCompareTest, WithinToleranceAndFasterPass)
+{
+    const auto baseline = parseJson(benchJson(1000, 2500));
+    // One point 10% down (inside 15%), one point faster.
+    const auto report = compare(
+        baseline, parseJson(benchJson(900, 4000)), 0.15);
+    EXPECT_TRUE(report.pass);
+    ASSERT_EQ(report.points.size(), 2u);
+    EXPECT_FALSE(report.points[0].regressed);
+    EXPECT_FALSE(report.points[1].regressed);
+    EXPECT_NE(formatReport(report).find("PASS"), std::string::npos);
+}
+
+TEST(BenchdiffCompareTest, RegressionBeyondToleranceFails)
+{
+    const auto baseline = parseJson(benchJson(1000, 2500));
+    const auto report = compare(
+        baseline, parseJson(benchJson(700, 2500)), 0.15);
+    EXPECT_FALSE(report.pass);
+    EXPECT_TRUE(report.points[0].regressed);
+    EXPECT_FALSE(report.points[1].regressed);
+    EXPECT_NEAR(report.points[0].ratio, 0.7, 1e-9);
+    EXPECT_NE(formatReport(report).find("FAIL"), std::string::npos);
+    EXPECT_NE(formatReport(report).find("REGRESSED"),
+              std::string::npos);
+}
+
+TEST(BenchdiffCompareTest, ExactlyAtToleranceBoundaryPasses)
+{
+    const auto baseline = parseJson(benchJson(1000, 2500));
+    // 850 == 1000 * (1 - 0.15): the gate fails strictly below.
+    const auto report = compare(
+        baseline, parseJson(benchJson(850, 2500)), 0.15);
+    EXPECT_TRUE(report.pass);
+}
+
+TEST(BenchdiffCompareTest, MissingBaselinePointFails)
+{
+    const auto baseline = parseJson(benchJson(1000, 2500));
+    const auto current = parseJson(
+        R"({"sweep": [{"threads": 1, "qps": 1000}]})");
+    const auto report = compare(baseline, current, 0.15);
+    EXPECT_FALSE(report.pass);
+    ASSERT_EQ(report.points.size(), 2u);
+    EXPECT_TRUE(report.points[1].missing);
+    EXPECT_NE(formatReport(report).find("MISSING"), std::string::npos);
+}
+
+TEST(BenchdiffCompareTest, ExtraCurrentPointsIgnored)
+{
+    const auto baseline = parseJson(
+        R"({"sweep": [{"threads": 1, "qps": 1000}]})");
+    // Current sweeps more thread counts than the baseline knows.
+    const auto report = compare(
+        baseline, parseJson(benchJson(1000, 1)), 0.15);
+    EXPECT_TRUE(report.pass);
+    EXPECT_EQ(report.points.size(), 1u);
+}
+
+TEST(BenchdiffCompareTest, RejectsDocumentsWithoutSweep)
+{
+    const auto good = parseJson(benchJson(1000, 2500));
+    EXPECT_THROW(compare(parseJson("{}"), good, 0.15), ConfigError);
+    EXPECT_THROW(compare(good, parseJson(R"({"sweep": []})"), 0.15),
+                 ConfigError);
+    EXPECT_THROW(
+        compare(good,
+                parseJson(R"({"sweep": [{"threads": 1}]})"), 0.15),
+        ConfigError);
+    // Duplicate thread counts are ambiguous.
+    EXPECT_THROW(
+        compare(parseJson(R"({"sweep": [{"threads": 1, "qps": 1},
+                                        {"threads": 1, "qps": 2}]})"),
+                good, 0.15),
+        ConfigError);
+}
+
+} // namespace
+} // namespace erec::benchdiff

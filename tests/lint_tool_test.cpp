@@ -113,6 +113,39 @@ TEST(LintToolTest, WindowedPercentileOnlyInItsStatsHome)
         "windowed-percentile"));
 }
 
+TEST(LintToolTest, RawThreadOnlyInRuntimeModule)
+{
+    const std::string bad = "std::thread t([] {});\n";
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/serving/a.cc", bad),
+                        "raw-thread"));
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.h",
+                                    "#pragma once\nnamespace erec {}\n" +
+                                        bad),
+                        "raw-thread"));
+    EXPECT_TRUE(
+        hasRule(lintContent("bench/b.cpp", bad), "raw-thread"));
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.cc",
+                                    "std::jthread t([] {});\n"),
+                        "raw-thread"));
+    // The pool's own implementation is the blessed home.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/runtime/thread_pool.cc", bad),
+        "raw-thread"));
+    // Tests may spawn threads freely to exercise concurrency.
+    EXPECT_FALSE(hasRule(lintContent("tests/pool_test.cpp", bad),
+                         "raw-thread"));
+    // Suppressible like every line rule.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.cc",
+                    "std::thread t; // erec-lint: allow(raw-thread)\n"),
+        "raw-thread"));
+    // Mentions in comments/strings are stripped before matching.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.cc",
+                    "// std::thread is banned here\nint x;\n"),
+        "raw-thread"));
+}
+
 TEST(LintToolTest, IostreamOnlyOutsideLibrary)
 {
     const std::string inc = "#include <iostream>\n";

@@ -146,6 +146,30 @@ TEST(QuantileSketch, EmptyAndClear)
     EXPECT_EQ(sketch.quantile(0.99), 0.0);
 }
 
+TEST(QuantileSketch, MeanAndMaxTrackExactValues)
+{
+    QuantileSketch sketch;
+    EXPECT_EQ(sketch.mean(), 0.0);
+    EXPECT_EQ(sketch.maxValue(), 0.0);
+    sketch.insert(2.0);
+    sketch.insert(4.0);
+    sketch.insert(12.0);
+    // Exact, not bucket-quantized: (2 + 4 + 12) / 3 and max 12.
+    EXPECT_DOUBLE_EQ(sketch.mean(), 6.0);
+    EXPECT_DOUBLE_EQ(sketch.maxValue(), 12.0);
+
+    // Merge folds per-thread maxima into the true tail.
+    QuantileSketch other;
+    other.insert(100.0);
+    sketch.merge(other);
+    EXPECT_DOUBLE_EQ(sketch.maxValue(), 100.0);
+    EXPECT_DOUBLE_EQ(sketch.mean(), 118.0 / 4.0);
+
+    sketch.clear();
+    EXPECT_EQ(sketch.mean(), 0.0);
+    EXPECT_EQ(sketch.maxValue(), 0.0);
+}
+
 TEST(QuantileSketch, RejectsBadAccuracy)
 {
     EXPECT_THROW(QuantileSketch(0.0), erec::ConfigError);

@@ -1,0 +1,352 @@
+#include "tools/benchdiff/benchdiff_core.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "elasticrec/common/error.h"
+
+namespace erec::benchdiff {
+
+namespace {
+
+/** Recursive-descent JSON reader over a string (no third-party deps).
+ *  Tracks the byte offset for error messages. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        ERC_CHECK(pos_ == text_.size(),
+                  "trailing garbage after JSON document at byte "
+                      << pos_);
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        erec::fatal("JSON parse error at byte " +
+                    std::to_string(pos_) + ": " + what);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" +
+                 text_[pos_] + "'");
+        ++pos_;
+    }
+
+    bool consumeKeyword(const std::string &kw)
+    {
+        if (text_.compare(pos_, kw.size(), kw) != 0)
+            return false;
+        pos_ += kw.size();
+        return true;
+    }
+
+    JsonValue parseValue()
+    {
+        const char c = peek();
+        switch (c) {
+        case '{':
+            return parseObject();
+        case '[':
+            return parseArray();
+        case '"': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::String;
+            v.string = parseString();
+            return v;
+        }
+        case 't':
+        case 'f': {
+            JsonValue v;
+            v.kind = JsonValue::Kind::Bool;
+            if (consumeKeyword("true"))
+                v.boolean = true;
+            else if (consumeKeyword("false"))
+                v.boolean = false;
+            else
+                fail("bad keyword");
+            return v;
+        }
+        case 'n': {
+            if (!consumeKeyword("null"))
+                fail("bad keyword");
+            return JsonValue{};
+        }
+        default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue parseObject()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            if (peek() != '"')
+                fail("expected object key string");
+            std::string key = parseString();
+            expect(':');
+            v.object.emplace_back(std::move(key), parseValue());
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue parseArray()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parseValue());
+            const char c = peek();
+            if (c == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("unterminated escape");
+                const char e = text_[pos_++];
+                switch (e) {
+                case '"':
+                case '\\':
+                case '/':
+                    out.push_back(e);
+                    break;
+                case 'n':
+                    out.push_back('\n');
+                    break;
+                case 't':
+                    out.push_back('\t');
+                    break;
+                case 'r':
+                    out.push_back('\r');
+                    break;
+                case 'b':
+                case 'f':
+                case 'u':
+                    // Bench files never emit these; keep the reader
+                    // honest rather than silently mangling them.
+                    fail("unsupported string escape");
+                default:
+                    fail("bad string escape");
+                }
+                continue;
+            }
+            out.push_back(c);
+        }
+    }
+
+    JsonValue parseNumber()
+    {
+        skipWs();
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double num = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            fail("bad number '" + token + "'");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = num;
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** Fetch a required numeric member of a sweep entry. */
+double
+numberField(const JsonValue &entry, const std::string &key)
+{
+    const JsonValue *v = entry.find(key);
+    ERC_CHECK(v != nullptr && v->kind == JsonValue::Kind::Number,
+              "sweep entry lacks numeric \"" << key << "\"");
+    return v->number;
+}
+
+/** Extract {threads -> qps} from a bench document's "sweep" array. */
+std::map<std::size_t, double>
+sweepQps(const JsonValue &doc, const std::string &which)
+{
+    const JsonValue *sweep = doc.find("sweep");
+    ERC_CHECK(sweep != nullptr &&
+                  sweep->kind == JsonValue::Kind::Array &&
+                  !sweep->array.empty(),
+              which << " bench file has no non-empty \"sweep\" array");
+    std::map<std::size_t, double> out;
+    for (const JsonValue &entry : sweep->array) {
+        ERC_CHECK(entry.kind == JsonValue::Kind::Object,
+                  which << " sweep entries must be objects");
+        const auto threads =
+            static_cast<std::size_t>(numberField(entry, "threads"));
+        ERC_CHECK(out.find(threads) == out.end(),
+                  which << " sweep lists threads=" << threads
+                        << " twice");
+        out[threads] = numberField(entry, "qps");
+    }
+    return out;
+}
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+double
+parseTolerance(const std::string &arg)
+{
+    ERC_CHECK(!arg.empty(), "empty tolerance");
+    std::string num = arg;
+    double scale = 1.0;
+    if (num.back() == '%') {
+        num.pop_back();
+        scale = 0.01;
+    }
+    char *end = nullptr;
+    const double v = std::strtod(num.c_str(), &end) * scale;
+    ERC_CHECK(end == num.c_str() + num.size(),
+              "bad tolerance '" << arg
+                                << "' (want e.g. \"15%\" or \"0.15\")");
+    ERC_CHECK(v >= 0.0 && v < 1.0,
+              "tolerance must be in [0, 1), got " << v);
+    return v;
+}
+
+DiffReport
+compare(const JsonValue &baseline, const JsonValue &current,
+        double tolerance)
+{
+    const auto base = sweepQps(baseline, "baseline");
+    const auto cur = sweepQps(current, "current");
+
+    DiffReport report;
+    report.tolerance = tolerance;
+    for (const auto &[threads, base_qps] : base) {
+        PointDiff p;
+        p.threads = threads;
+        p.baselineQps = base_qps;
+        const auto it = cur.find(threads);
+        if (it == cur.end()) {
+            p.missing = true;
+            p.regressed = true;
+        } else {
+            p.currentQps = it->second;
+            p.ratio = base_qps > 0.0 ? p.currentQps / base_qps : 0.0;
+            p.regressed =
+                p.currentQps < base_qps * (1.0 - tolerance);
+        }
+        report.pass = report.pass && !p.regressed;
+        report.points.push_back(p);
+    }
+    return report;
+}
+
+std::string
+formatReport(const DiffReport &report)
+{
+    std::ostringstream out;
+    out.setf(std::ios::fixed);
+    out.precision(1);
+    for (const PointDiff &p : report.points) {
+        out << "threads=" << p.threads << ": baseline "
+            << p.baselineQps << " qps";
+        if (p.missing) {
+            out << ", MISSING from current run -> FAIL\n";
+            continue;
+        }
+        out << ", current " << p.currentQps << " qps ("
+            << p.ratio * 100.0 << "% of baseline) -> "
+            << (p.regressed ? "REGRESSED" : "ok") << "\n";
+    }
+    out << "benchdiff: "
+        << (report.pass ? "PASS" : "FAIL (QPS regression beyond ")
+        << (report.pass ? ""
+                        : std::to_string(static_cast<int>(
+                              report.tolerance * 100.0 + 0.5)) +
+                              "% tolerance)")
+        << "\n";
+    return out.str();
+}
+
+} // namespace erec::benchdiff

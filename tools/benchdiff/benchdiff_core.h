@@ -1,0 +1,97 @@
+#pragma once
+
+/**
+ * @file
+ * Core of the perf-regression gate (`erec_benchdiff`): parses two
+ * BENCH_*.json files emitted by the bench harnesses and compares the
+ * current run's QPS against the checked-in baseline, sweep point by
+ * sweep point (matched on the "threads" key).
+ *
+ * A point regresses when current_qps < baseline_qps * (1 - tolerance).
+ * Faster-than-baseline runs always pass — the gate only guards the
+ * floor, so baselines can stay conservative enough to hold across CI
+ * machine generations.
+ *
+ * Parsing is a self-contained recursive-descent JSON reader (the repo
+ * takes no third-party deps); it accepts general JSON, and compare()
+ * then requires the bench schema: a top-level object with a "sweep"
+ * array of objects carrying numeric "threads" and "qps".
+ */
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace erec::benchdiff {
+
+/** Minimal JSON value (objects keep insertion order via vector). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /** Object member lookup; null when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/** Parse a JSON document. Raises erec::ConfigError on malformed input
+ *  (with a byte offset in the message). */
+JsonValue parseJson(const std::string &text);
+
+/**
+ * Parse a tolerance argument: either a fraction ("0.15") or a
+ * percentage ("15%"). Must land in [0, 1). Raises erec::ConfigError.
+ */
+double parseTolerance(const std::string &arg);
+
+/** Verdict for one baseline sweep point. */
+struct PointDiff
+{
+    std::size_t threads = 0;
+    double baselineQps = 0.0;
+    /** Current QPS; 0 when the point is missing from the current run. */
+    double currentQps = 0.0;
+    /** currentQps / baselineQps (0 when missing). */
+    double ratio = 0.0;
+    /** True when the current run lacks this thread count entirely. */
+    bool missing = false;
+    bool regressed = false;
+};
+
+/** Full comparison result. */
+struct DiffReport
+{
+    std::vector<PointDiff> points;
+    double tolerance = 0.0;
+    /** True iff no point is missing or regressed. */
+    bool pass = true;
+};
+
+/**
+ * Compare a current bench run against the baseline. Every baseline
+ * sweep point must appear in the current run (matched on "threads")
+ * and hold >= (1 - tolerance) of the baseline QPS. Extra points in the
+ * current run are ignored — adding sweep coverage is not a regression.
+ */
+DiffReport compare(const JsonValue &baseline, const JsonValue &current,
+                   double tolerance);
+
+/** Human-readable per-point report with a PASS/FAIL trailer. */
+std::string formatReport(const DiffReport &report);
+
+} // namespace erec::benchdiff

@@ -108,6 +108,9 @@ struct LineRule
     /** Path suffixes exempt from the rule (the blessed home of the
      *  construct, e.g. common/error.h for `throw`). */
     std::vector<std::string> exemptSuffixes;
+    /** Directory components exempt from the rule (the blessed home
+     *  when it is a whole module, e.g. runtime/ for std::thread). */
+    std::vector<std::string> exemptDirs;
 };
 
 const std::vector<LineRule> &
@@ -121,6 +124,7 @@ lineRules()
             "ERC_CHECK/ERC_ASSERT from elasticrec/common/error.h",
             {FileClass::LibrarySource, FileClass::LibraryHeader},
             {"common/error.h"},
+            {},
         },
         {
             "unseeded-random",
@@ -133,6 +137,7 @@ lineRules()
              FileClass::TestSource, FileClass::BenchSource,
              FileClass::ExampleSource},
             {"common/rng.h", "common/rng.cc"},
+            {},
         },
         {
             "windowed-percentile",
@@ -144,6 +149,19 @@ lineRules()
             {FileClass::LibrarySource, FileClass::LibraryHeader,
              FileClass::BenchSource, FileClass::ExampleSource},
             {"common/stats.h", "common/stats.cc"},
+            {},
+        },
+        {
+            "raw-thread",
+            std::regex(R"(\bstd\s*::\s*(thread|jthread)\b)"),
+            "raw std::thread outside src/elasticrec/runtime/; serving "
+            "code must run work through runtime::ThreadPool / "
+            "runtime::Executor so thread counts stay an explicit, "
+            "observable resource",
+            {FileClass::LibrarySource, FileClass::LibraryHeader,
+             FileClass::BenchSource, FileClass::ExampleSource},
+            {},
+            {"runtime"},
         },
         {
             "iostream-in-library",
@@ -152,6 +170,7 @@ lineRules()
             "library code must log through elasticrec/common/logging.h, "
             "not <iostream>",
             {FileClass::LibrarySource, FileClass::LibraryHeader},
+            {},
             {},
         },
     };
@@ -167,6 +186,10 @@ ruleApplies(const LineRule &rule, FileClass cls, const std::string &path)
     }
     for (const auto &suffix : rule.exemptSuffixes) {
         if (endsWith(path, suffix))
+            return false;
+    }
+    for (const auto &dir : rule.exemptDirs) {
+        if (hasDirComponent(path, dir))
             return false;
     }
     return true;

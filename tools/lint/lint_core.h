@@ -15,6 +15,10 @@
  *  - unseeded-random: no std::rand, srand, std::random_device or
  *    time(nullptr) anywhere outside common/rng.* — all stochastic code
  *    draws from the seeded erec::Rng so experiments are reproducible.
+ *  - raw-thread: no std::thread / std::jthread construction outside
+ *    src/elasticrec/runtime/ — concurrency goes through
+ *    runtime::ThreadPool / runtime::Executor so thread counts stay an
+ *    explicit, observable resource (tests may spawn threads freely).
  *  - iostream-in-library: library code logs through common/logging.h;
  *    #include <iostream> is only allowed in tests, benches, examples
  *    and tools.
