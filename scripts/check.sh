@@ -5,6 +5,7 @@
 #   scripts/check.sh asan    # ASan+UBSan build, full ctest
 #   scripts/check.sh tsan    # TSan build, full ctest
 #   scripts/check.sh lint    # erec_lint + clang-tidy (if installed)
+#   scripts/check.sh arch    # include-graph / layer-DAG gate + header check
 #   scripts/check.sh smoke   # run example + fig bench, validate telemetry
 #   scripts/check.sh bench   # serving throughput sweep + benchdiff gate
 #   scripts/check.sh all     # every stage above, in order
@@ -59,6 +60,36 @@ stage_lint() {
     cmake -B "$tree" -S "$repo_root" "${cmake_launcher_args[@]}" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DELASTICREC_WERROR=ON
     cmake --build "$tree" -j "$jobs" --target lint
+}
+
+# Architecture gate: extract the include graph of all first-party
+# code, enforce the layer DAG in tools/archlint/layers.conf (plus
+# acyclicity), and compile every src/elasticrec header standalone
+# (archlint_headers). Runs from the repo root so quoted includes
+# resolve. Set ELASTICREC_ARCH_OUT to keep the JSON report (CI
+# uploads archlint.json as an artifact next to the bench/telemetry
+# ones); by default a temp dir is used and removed.
+stage_arch() {
+    local tree="$repo_root/build-check-release"
+    cmake -B "$tree" -S "$repo_root" "${cmake_launcher_args[@]}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DELASTICREC_WERROR=ON
+    cmake --build "$tree" -j "$jobs" \
+        --target erec_archlint archlint_headers
+    local out
+    if [ -n "${ELASTICREC_ARCH_OUT:-}" ]; then
+        out="$ELASTICREC_ARCH_OUT"
+        mkdir -p "$out"
+    else
+        out="$(mktemp -d)"
+        trap 'rm -rf "$out"' RETURN
+    fi
+    local archlint=("$tree/tools/archlint/erec_archlint"
+        --root src --root tools --root bench --root tests
+        --root examples
+        --config "$repo_root/tools/archlint/layers.conf")
+    (cd "$repo_root" && "${archlint[@]}" --format text)
+    (cd "$repo_root" && "${archlint[@]}" --format json) \
+        > "$out/archlint.json"
 }
 
 # Perf-regression gate: run the concurrent serving throughput sweep
@@ -122,6 +153,7 @@ case "$stage" in
   asan) stage_asan ;;
   tsan) stage_tsan ;;
   lint) stage_lint ;;
+  arch) stage_arch ;;
   smoke) stage_smoke ;;
   bench) stage_bench ;;
   all)
@@ -129,11 +161,12 @@ case "$stage" in
     stage_asan
     stage_tsan
     stage_lint
+    stage_arch
     stage_smoke
     stage_bench
     ;;
   *)
-    echo "usage: check.sh [build|asan|tsan|lint|smoke|bench|all]" >&2
+    echo "usage: check.sh [build|asan|tsan|lint|arch|smoke|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -6,20 +6,23 @@ set -euo pipefail
 
 here="$(cd "$(dirname "$0")" && pwd)"
 
-echo "=== CI job 1/5: RelWithDebInfo + -Werror + ctest ==="
+echo "=== CI job 1/6: RelWithDebInfo + -Werror + ctest ==="
 "$here/check.sh" build
 
-echo "=== CI job 2/5: ASan+UBSan + ctest ==="
+echo "=== CI job 2/6: ASan+UBSan + ctest ==="
 "$here/check.sh" asan
 
-echo "=== CI job 3/5: TSan + ctest, then lint ==="
+echo "=== CI job 3/6: TSan + ctest, then lint ==="
 "$here/check.sh" tsan
 "$here/check.sh" lint
 
-echo "=== CI job 4/5: telemetry smoke ==="
+echo "=== CI job 4/6: architecture gate (archlint + header check) ==="
+"$here/check.sh" arch
+
+echo "=== CI job 5/6: telemetry smoke ==="
 "$here/check.sh" smoke
 
-echo "=== CI job 5/5: serving throughput + perf gate ==="
+echo "=== CI job 6/6: serving throughput + perf gate ==="
 "$here/check.sh" bench
 
 echo "=== CI matrix green ==="

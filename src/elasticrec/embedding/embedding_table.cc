@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "elasticrec/common/error.h"
+#include "elasticrec/common/rng.h"
 
 namespace erec::embedding {
 

@@ -17,7 +17,6 @@
 #include <string>
 #include <vector>
 
-#include "elasticrec/common/rng.h"
 #include "elasticrec/common/units.h"
 
 namespace erec::embedding {

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "elasticrec/common/error.h"
+#include "elasticrec/common/rng.h"
 
 namespace erec::model {
 

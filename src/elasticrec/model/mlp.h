@@ -16,7 +16,6 @@
 #include <string>
 #include <vector>
 
-#include "elasticrec/common/rng.h"
 #include "elasticrec/common/units.h"
 
 namespace erec::model {

@@ -1,6 +1,8 @@
 #include "elasticrec/sim/experiment.h"
 
+#include "elasticrec/cluster/scheduler.h"
 #include "elasticrec/common/error.h"
+#include "elasticrec/core/utility_tracker.h"
 #include "elasticrec/workload/query_generator.h"
 
 namespace erec::sim {

@@ -14,9 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "elasticrec/cluster/scheduler.h"
 #include "elasticrec/core/planner.h"
-#include "elasticrec/core/utility_tracker.h"
 #include "elasticrec/embedding/access_cdf.h"
 #include "elasticrec/sim/cluster_sim.h"
 #include "elasticrec/workload/access_distribution.h"

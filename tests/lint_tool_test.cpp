@@ -270,6 +270,82 @@ TEST(LintToolTest, ExcessDefaultParamsSuppressible)
         "excess-default-params"));
 }
 
+TEST(LintToolTest, UnannotatedMutexCaughtInLibraryHeaders)
+{
+    const std::string hdr = "#pragma once\nnamespace erec {\n";
+    const auto diags = lintContent(
+        "src/elasticrec/x/a.h",
+        hdr + "class C {\n  mutable std::mutex mutex_;\n"
+              "  int v_ = 0;\n};\n}\n");
+    ASSERT_TRUE(hasRule(diags, "unannotated-mutex"));
+    for (const auto &d : diags) {
+        if (d.rule == "unannotated-mutex") {
+            EXPECT_EQ(d.line, 4);
+            EXPECT_NE(d.message.find("mutex_"), std::string::npos);
+        }
+    }
+    EXPECT_TRUE(hasRule(
+        lintContent("src/elasticrec/x/a.h",
+                    hdr + "class C {\n  std::shared_mutex lock_;\n};\n}\n"),
+        "unannotated-mutex"));
+}
+
+TEST(LintToolTest, UnannotatedMutexQuietWhenGuarded)
+{
+    const std::string hdr = "#pragma once\nnamespace erec {\n";
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.h",
+                    hdr + "class C {\n  mutable std::mutex mutex_;\n"
+                          "  int v_ ERC_GUARDED_BY(mutex_) = 0;\n"
+                          "};\n}\n"),
+        "unannotated-mutex"));
+    // ERC_PT_GUARDED_BY (pointee guarded) satisfies the rule too.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.h",
+                    hdr + "class C {\n  std::mutex m_;\n"
+                          "  int *p_ ERC_PT_GUARDED_BY(m_) = nullptr;\n"
+                          "};\n}\n"),
+        "unannotated-mutex"));
+    // A GUARDED_BY tied to a *different* mutex does not cover this one.
+    EXPECT_TRUE(hasRule(
+        lintContent("src/elasticrec/x/a.h",
+                    hdr + "class C {\n  std::mutex a_;\n  std::mutex b_;\n"
+                          "  int v_ ERC_GUARDED_BY(a_) = 0;\n"
+                          "};\n}\n"),
+        "unannotated-mutex"));
+}
+
+TEST(LintToolTest, UnannotatedMutexScopeAndExemptions)
+{
+    const std::string body =
+        "class C {\n  mutable std::mutex mutex_;\n};\n";
+    const std::string hdr = "#pragma once\nnamespace erec {\n";
+    // Lock holders are not mutex members.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.h",
+                    hdr + "inline void f() {\n"
+                          "  std::unique_lock<std::mutex> lock(m);\n"
+                          "}\n}\n"),
+        "unannotated-mutex"));
+    // Headers only; .cc internals and non-library code are free.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.cc", body), "unannotated-mutex"));
+    EXPECT_FALSE(hasRule(lintContent("tests/a_test.cpp", body),
+                         "unannotated-mutex"));
+    // runtime/ pool internals are the blessed concurrency module.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/runtime/a.h", hdr + body + "}\n"),
+        "unannotated-mutex"));
+    // allow() suppression on the member's line.
+    EXPECT_FALSE(hasRule(
+        lintContent(
+            "src/elasticrec/x/a.h",
+            hdr + "class C {\n"
+                  "  std::mutex m_; // erec-lint: allow(unannotated-mutex)\n"
+                  "};\n}\n"),
+        "unannotated-mutex"));
+}
+
 TEST(LintToolTest, DiagnosticsCarryLocation)
 {
     const auto diags = lintContent("src/elasticrec/x/a.cc",

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * CLI of the architecture gate:
+ *
+ *     erec_archlint --root src [--root tools ...] \
+ *         --config tools/archlint/layers.conf [--format text|json]
+ *
+ * Walks the given roots (relative to the current directory, which must
+ * be the repo root so includes resolve), extracts the include graph,
+ * and enforces the layer DAG plus acyclicity (tools/archlint/
+ * arch_core.h). Exit codes follow the benchdiff convention: 0 = clean,
+ * 1 = violations, 2 = usage / unreadable / malformed config. CI runs
+ * `--format json` and uploads the document as an artifact.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/archlint/arch_core.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        std::cerr << "erec_archlint: cannot read " << path << "\n";
+        std::exit(2);
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+bool
+isCxxFile(const fs::path &path)
+{
+    const auto ext = path.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".h" || ext == ".hpp";
+}
+
+void
+usage()
+{
+    std::cerr << "usage: erec_archlint --root <dir> [--root <dir>...]"
+                 " --config <layers.conf> [--format text|json]\n";
+    std::exit(2);
+}
+
+/** Repo-relative spelling of a scanned path ("./src/x" -> "src/x"). */
+std::string
+repoRelative(const fs::path &path)
+{
+    std::string out = path.generic_string();
+    while (out.rfind("./", 0) == 0)
+        out = out.substr(2);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> roots;
+    std::string config_path;
+    std::string format = "text";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            roots.push_back(argv[++i]);
+        } else if (arg == "--config" && i + 1 < argc) {
+            config_path = argv[++i];
+        } else if (arg == "--format" && i + 1 < argc) {
+            format = argv[++i];
+        } else {
+            usage();
+        }
+    }
+    if (roots.empty() || config_path.empty() ||
+        (format != "text" && format != "json")) {
+        usage();
+    }
+
+    erec::archlint::FileSet files;
+    for (const auto &root : roots) {
+        if (fs::is_regular_file(root)) {
+            files[repoRelative(root)] = readFile(root);
+            continue;
+        }
+        if (!fs::is_directory(root)) {
+            std::cerr << "erec_archlint: no such file or directory: "
+                      << root << "\n";
+            return 2;
+        }
+        for (const auto &entry : fs::recursive_directory_iterator(root)) {
+            if (entry.is_regular_file() && isCxxFile(entry.path()))
+                files[repoRelative(entry.path())] = readFile(entry.path());
+        }
+    }
+
+    try {
+        const auto config =
+            erec::archlint::parseLayerConfig(readFile(config_path));
+        const auto analysis = erec::archlint::analyze(files, config);
+        if (format == "json") {
+            std::cout << erec::archlint::renderJson(analysis);
+        } else {
+            (analysis.pass() ? std::cout : std::cerr)
+                << erec::archlint::renderText(analysis);
+        }
+        return analysis.pass() ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::cerr << "erec_archlint: " << e.what() << "\n";
+        return 2;
+    }
+}

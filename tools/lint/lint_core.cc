@@ -263,6 +263,50 @@ checkExcessDefaultParams(const std::string &path,
     }
 }
 
+/**
+ * unannotated-mutex: a std::mutex / std::shared_mutex *member* in a
+ * library header (a declaration like `mutable std::mutex mutex_;`,
+ * not a lock-holder such as std::unique_lock<std::mutex>) is only
+ * meaningful when the data it serializes is tied to it, so some field
+ * in the same file must carry ERC_GUARDED_BY(<member>) or
+ * ERC_PT_GUARDED_BY(<member>) (common/thread_annotations.h). Without
+ * one, clang's -Wthread-safety pass has nothing to check and the
+ * locking discipline lives only in comments. runtime/ pool internals
+ * are exempt via the rule table's exemptDirs (their queues annotate
+ * already; the exemption keeps scratch mutexes in that blessed module
+ * from blocking experiments).
+ */
+void
+checkUnannotatedMutex(const std::string &path,
+                      const std::vector<std::string> &stripped_lines,
+                      const std::string &stripped,
+                      const Suppressions &sup,
+                      std::vector<Diagnostic> *diags)
+{
+    static const std::regex kMutexMember(
+        R"(\bstd\s*::\s*(?:shared_)?mutex\s+([A-Za-z_][A-Za-z0-9_]*)\s*;)");
+    for (std::size_t i = 0; i < stripped_lines.size(); ++i) {
+        std::smatch match;
+        if (!std::regex_search(stripped_lines[i], match, kMutexMember))
+            continue;
+        const int line_no = static_cast<int>(i + 1);
+        if (sup.allows(line_no, "unannotated-mutex"))
+            continue;
+        const std::string name = match[1].str();
+        const std::regex guarded(R"(\bERC_(?:PT_)?GUARDED_BY\s*\(\s*)" +
+                                 name + R"(\s*\))");
+        if (std::regex_search(stripped, guarded))
+            continue;
+        diags->push_back(
+            {path, line_no, "unannotated-mutex",
+             "mutex member `" + name + "` has no ERC_GUARDED_BY(" +
+                 name + ") field in this header; annotate the data it "
+                 "protects (elasticrec/common/thread_annotations.h) so "
+                 "clang -Wthread-safety can check the locking "
+                 "discipline"});
+    }
+}
+
 /** First non-blank line of stripped content, with its line number. */
 std::pair<std::string, int>
 firstCodeLine(const std::vector<std::string> &stripped_lines)
@@ -437,6 +481,14 @@ lintContent(const std::string &path, const std::string &content)
 
     if (cls == FileClass::LibraryHeader)
         checkExcessDefaultParams(path, stripped, sup, &diags);
+
+    // Same exemption mechanism as the rule table's exemptDirs:
+    // runtime/ is the blessed home of pool/queue internals.
+    if (cls == FileClass::LibraryHeader &&
+        !hasDirComponent(path, "runtime")) {
+        checkUnannotatedMutex(path, stripped_lines, stripped, sup,
+                              &diags);
+    }
 
     if (cls == FileClass::LibraryHeader) {
         static const std::regex kNamespace(R"(\bnamespace\s+erec\b)");

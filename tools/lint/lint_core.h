@@ -24,6 +24,12 @@
  *    and tools.
  *  - header-pragma-once: every header starts with #pragma once.
  *  - header-namespace: library headers declare namespace erec.
+ *  - unannotated-mutex: a std::mutex / std::shared_mutex member in a
+ *    library header must come with an ERC_GUARDED_BY(member) /
+ *    ERC_PT_GUARDED_BY(member) annotated field in the same file
+ *    (common/thread_annotations.h), so clang's -Wthread-safety pass
+ *    can actually check the locking discipline; runtime/ pool
+ *    internals are exempt (the blessed concurrency module).
  *  - excess-default-params: no parameter list in a library header may
  *    declare more than two defaulted parameters — long trails of
  *    positional defaults are unreadable at call sites; fold them into
