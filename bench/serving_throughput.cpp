@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "elasticrec/common/alloc_tracker.h"
 #include "elasticrec/common/error.h"
 #include "elasticrec/common/table_printer.h"
 #include "elasticrec/model/dlrm.h"
@@ -70,6 +71,10 @@ struct SweepResult
     double p95Ms = 0.0;
     double maxMs = 0.0;
     double meanBatch = 0.0;
+    /** Heap allocations per query inside the AllocGate regions of the
+     *  steady-state path (queue, pool dequeue, pump, gathers) — gated
+     *  at exactly zero by the CI perf gate. */
+    double allocsPerQuery = 0.0;
     std::vector<std::uint64_t> batchHist;
 };
 
@@ -163,9 +168,12 @@ runPoint(const std::shared_ptr<const model::Dlrm> &dlrm,
             config.rowsPerTable, 0.9),
         /*seed=*/42);
 
-    // Warm-up: touch every shard path once before the timed window.
+    // Warm-up: touch every shard path once before the timed window,
+    // then zero the alloc-tracker regions so the timed window measures
+    // only steady-state allocations.
     for (int i = 0; i < 16; ++i)
         stack.submit(gen.next()).get();
+    resetAllocRegionStats();
 
     obs::QuantileSketch latency_ms(0.01);
     const std::size_t window = std::max<std::size_t>(4, 4 * t);
@@ -204,6 +212,11 @@ runPoint(const std::shared_ptr<const model::Dlrm> &dlrm,
     r.p95Ms = latency_ms.quantile(0.95);
     r.maxMs = latency_ms.maxValue();
     r.meanBatch = stack.dispatcher->meanBatchSize();
+    std::uint64_t region_allocs = 0;
+    for (const auto &stats : allocRegionStats())
+        region_allocs += stats.allocs;
+    r.allocsPerQuery = static_cast<double>(region_allocs) /
+                       static_cast<double>(opts.queries);
     r.batchHist = stack.dispatcher->batchSizeHistogram();
 
     if (!opts.metricsOut.empty()) {
@@ -246,6 +259,7 @@ writeJson(const std::string &path, const BenchOptions &opts,
             << ", \"p95_ms\": " << jsonNum(r.p95Ms)
             << ", \"max_ms\": " << jsonNum(r.maxMs)
             << ", \"mean_batch\": " << jsonNum(r.meanBatch)
+            << ", \"allocs_per_query\": " << jsonNum(r.allocsPerQuery)
             << ", \"batch_hist\": [";
         for (std::size_t k = 0; k < r.batchHist.size(); ++k)
             out << (k ? ", " : "") << r.batchHist[k];
@@ -304,7 +318,7 @@ run(int argc, char **argv)
         sweep.push_back(runPoint(dlrm, opts, t));
 
     TablePrinter table({"workers", "QPS", "p50 ms", "p95 ms", "max ms",
-                        "mean batch"});
+                        "mean batch", "allocs/q"});
     for (const auto &r : sweep)
         table.addRow({TablePrinter::num(static_cast<std::int64_t>(
                           r.threads)),
@@ -312,7 +326,8 @@ run(int argc, char **argv)
                       TablePrinter::num(r.p50Ms, 3),
                       TablePrinter::num(r.p95Ms, 3),
                       TablePrinter::num(r.maxMs, 3),
-                      TablePrinter::num(r.meanBatch, 2)});
+                      TablePrinter::num(r.meanBatch, 2),
+                      TablePrinter::num(r.allocsPerQuery, 3)});
     table.print(std::cout);
     const double scaling =
         sweep.front().qps > 0.0 ? sweep.back().qps / sweep.front().qps

@@ -6,6 +6,7 @@
 #   scripts/check.sh tsan    # TSan build, full ctest
 #   scripts/check.sh lint    # erec_lint + clang-tidy (if installed)
 #   scripts/check.sh arch    # include-graph / layer-DAG gate + header check
+#   scripts/check.sh hotpath # ERC_HOT_PATH static allocation/blocking gate
 #   scripts/check.sh smoke   # run example + fig bench, validate telemetry
 #   scripts/check.sh bench   # serving throughput sweep + benchdiff gate
 #   scripts/check.sh all     # every stage above, in order
@@ -115,7 +116,71 @@ stage_bench() {
         --out "$out/BENCH_serving.json"
     "$tree/tools/benchdiff/erec_benchdiff" \
         "$repo_root/bench/baselines/BENCH_serving.json" \
-        "$out/BENCH_serving.json" --tolerance 15%
+        "$out/BENCH_serving.json" --tolerance 15% \
+        --metric-tolerance allocs_per_query=0
+}
+
+# Hot-path discipline gate: erec_hotpath extracts the ERC_HOT_PATH
+# roots and the intra-repo call graph and flags heap allocation,
+# blocking I/O, throw and non-try locking in every transitively
+# reachable function (DESIGN.md section 10). Also self-tests the
+# analyzer against a seeded violation: a gate that cannot fail is not
+# a gate. Set ELASTICREC_HOTPATH_OUT to keep the JSON report (CI
+# uploads hotpath.json as an artifact); by default a temp dir is used
+# and removed.
+stage_hotpath() {
+    local tree="$repo_root/build-check-release"
+    cmake -B "$tree" -S "$repo_root" "${cmake_launcher_args[@]}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DELASTICREC_WERROR=ON
+    cmake --build "$tree" -j "$jobs" --target erec_hotpath
+    local out
+    if [ -n "${ELASTICREC_HOTPATH_OUT:-}" ]; then
+        out="$ELASTICREC_HOTPATH_OUT"
+        mkdir -p "$out"
+    else
+        out="$(mktemp -d)"
+        trap 'rm -rf "$out"' RETURN
+    fi
+    local hotpath="$tree/tools/hotpath/erec_hotpath"
+    (cd "$repo_root" && "$hotpath" --root src --format text)
+    (cd "$repo_root" && "$hotpath" --root src --format json) \
+        > "$out/hotpath.json"
+
+    # Seeded-violation self-test: a hot root reaching a push_back two
+    # calls away must fail with a concrete call path.
+    local seed="$out/hotpath-selftest"
+    mkdir -p "$seed/src"
+    cat > "$seed/src/seeded.h" <<'SEED'
+#pragma once
+#define ERC_HOT_PATH
+namespace seeded {
+ERC_HOT_PATH
+void serve(int n);
+}
+SEED
+    cat > "$seed/src/seeded.cc" <<'SEED'
+#include "seeded.h"
+#include <vector>
+namespace seeded {
+static std::vector<int> sink;
+void helper(int n) { sink.push_back(n); }
+void serve(int n) { helper(n); }
+} // namespace seeded
+SEED
+    local rc=0
+    (cd "$seed" && "$hotpath" --root src) > "$seed/report.txt" 2>&1 \
+        || rc=$?
+    if [ "$rc" -ne 1 ]; then
+        echo "hotpath self-test: expected exit 1 on seeded violation," \
+            "got $rc" >&2
+        cat "$seed/report.txt" >&2
+        exit 1
+    fi
+    if ! grep -q "serve -> helper" "$seed/report.txt"; then
+        echo "hotpath self-test: report lacks the call path" >&2
+        cat "$seed/report.txt" >&2
+        exit 1
+    fi
 }
 
 # End-to-end smoke: run the quickstart example and the Figure 19 bench
@@ -154,6 +219,7 @@ case "$stage" in
   tsan) stage_tsan ;;
   lint) stage_lint ;;
   arch) stage_arch ;;
+  hotpath) stage_hotpath ;;
   smoke) stage_smoke ;;
   bench) stage_bench ;;
   all)
@@ -162,11 +228,12 @@ case "$stage" in
     stage_tsan
     stage_lint
     stage_arch
+    stage_hotpath
     stage_smoke
     stage_bench
     ;;
   *)
-    echo "usage: check.sh [build|asan|tsan|lint|arch|smoke|bench|all]" >&2
+    echo "usage: check.sh [build|asan|tsan|lint|arch|hotpath|smoke|bench|all]" >&2
     exit 2
     ;;
 esac

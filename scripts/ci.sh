@@ -6,23 +6,26 @@ set -euo pipefail
 
 here="$(cd "$(dirname "$0")" && pwd)"
 
-echo "=== CI job 1/6: RelWithDebInfo + -Werror + ctest ==="
+echo "=== CI job 1/7: RelWithDebInfo + -Werror + ctest ==="
 "$here/check.sh" build
 
-echo "=== CI job 2/6: ASan+UBSan + ctest ==="
+echo "=== CI job 2/7: ASan+UBSan + ctest ==="
 "$here/check.sh" asan
 
-echo "=== CI job 3/6: TSan + ctest, then lint ==="
+echo "=== CI job 3/7: TSan + ctest, then lint ==="
 "$here/check.sh" tsan
 "$here/check.sh" lint
 
-echo "=== CI job 4/6: architecture gate (archlint + header check) ==="
+echo "=== CI job 4/7: architecture gate (archlint + header check) ==="
 "$here/check.sh" arch
 
-echo "=== CI job 5/6: telemetry smoke ==="
+echo "=== CI job 5/7: hot-path discipline gate ==="
+"$here/check.sh" hotpath
+
+echo "=== CI job 6/7: telemetry smoke ==="
 "$here/check.sh" smoke
 
-echo "=== CI job 6/6: serving throughput + perf gate ==="
+echo "=== CI job 7/7: serving throughput + perf gate ==="
 "$here/check.sh" bench
 
 echo "=== CI matrix green ==="

@@ -44,16 +44,32 @@ Bucketizer::shardOf(std::uint32_t original_id) const
 std::vector<workload::SparseLookup>
 Bucketizer::bucketize(const workload::SparseLookup &in) const
 {
+    std::vector<workload::SparseLookup> out;
+    bucketizeInto(in, &out);
+    return out;
+}
+
+void
+Bucketizer::bucketizeInto(const workload::SparseLookup &in,
+                          std::vector<workload::SparseLookup> *out) const
+{
     const std::uint32_t shards = numShards();
-    std::vector<workload::SparseLookup> out(shards);
+    // Refit the buffer: entries keep their index/offset capacity, so
+    // warm callers (the dense frontend's per-thread scratch) stop
+    // allocating once the per-shard arrays reached steady size.
+    out->resize(shards); // ERC_HOT_PATH_ALLOW("refit to shard count; no-op for a warm caller buffer")
+    for (auto &lookup : *out) {
+        lookup.indices.clear();
+        lookup.offsets.clear();
+    }
     const std::size_t batch = in.batchSize();
 
     for (std::size_t b = 0; b < batch; ++b) {
         // Each batch item opens a new offset entry in every shard
         // (Figure 11(b): both shards keep offsets for input 0 and 1).
         for (std::uint32_t s = 0; s < shards; ++s) {
-            out[s].offsets.push_back(
-                static_cast<std::uint32_t>(out[s].indices.size()));
+            (*out)[s].offsets.push_back( // ERC_HOT_PATH_ALLOW("amortized: shard buffers reuse capacity across queries")
+                static_cast<std::uint32_t>((*out)[s].indices.size()));
         }
         const std::size_t begin = in.offsets[b];
         const std::size_t end =
@@ -70,11 +86,10 @@ Bucketizer::bucketize(const workload::SparseLookup &in) const
                 s == 0 ? 0 : boundaries_[s - 1];
             // Rebase to a shard-local ID (the "subtract the size of the
             // preceding shards" step of Figure 11).
-            out[s].indices.push_back(
+            (*out)[s].indices.push_back( // ERC_HOT_PATH_ALLOW("amortized: shard buffers reuse capacity across queries")
                 static_cast<std::uint32_t>(rank - shard_begin));
         }
     }
-    return out;
 }
 
 } // namespace erec::core

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "elasticrec/common/hotpath.h"
 #include "elasticrec/workload/query_generator.h"
 
 namespace erec::core {
@@ -45,6 +46,16 @@ class Bucketizer
      */
     std::vector<workload::SparseLookup>
     bucketize(const workload::SparseLookup &in) const;
+
+    /**
+     * bucketize() into a caller-owned buffer whose per-shard index and
+     * offset arrays keep their capacity across calls — the serving
+     * path's variant, allocation-free once the buffers are warm.
+     * Results are identical to bucketize().
+     */
+    ERC_HOT_PATH
+    void bucketizeInto(const workload::SparseLookup &in,
+                       std::vector<workload::SparseLookup> *out) const;
 
     /** Shard that will serve the given original index ID. */
     std::uint32_t shardOf(std::uint32_t original_id) const;

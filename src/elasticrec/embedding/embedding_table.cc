@@ -2,12 +2,21 @@
 
 #include <cstring>
 
+#include "elasticrec/common/alloc_tracker.h"
 #include "elasticrec/common/error.h"
 #include "elasticrec/common/rng.h"
 
 namespace erec::embedding {
 
 namespace {
+
+/** Charged by the gate around the pooled-gather loop. */
+AllocRegion &
+gatherRegion()
+{
+    static AllocRegion region("embedding-gather");
+    return region;
+}
 
 /** SplitMix64-style row/lane hash for virtual tables. */
 std::uint64_t
@@ -79,14 +88,32 @@ EmbeddingTable::at(std::uint64_t row, std::uint32_t d) const
     return tmp[d];
 }
 
+void
+EmbeddingTable::addRowTo(std::uint64_t row, float *acc) const
+{
+    ERC_CHECK(row < numRows_, "row " << row << " out of range");
+    if (storage_ == Storage::Materialized) {
+        const float *src = &data_[row * dim_];
+        for (std::uint32_t d = 0; d < dim_; ++d)
+            acc[d] += src[d];
+        return;
+    }
+    // Virtual rows accumulate straight out of the hash — the same
+    // values synthesizeRow() produces, added in the same lane order,
+    // so results stay bit-identical to the buffered path.
+    const std::uint64_t base = mix(seed_ ^ (row * 0x9E3779B97F4A7C15ull));
+    for (std::uint32_t d = 0; d < dim_; ++d)
+        acc[d] += hashToFloat(mix(base + d));
+}
+
 std::size_t
 EmbeddingTable::gatherPool(const std::vector<std::uint32_t> &indices,
                            const std::vector<std::uint32_t> &offsets,
                            float *out) const
 {
     ERC_CHECK(!offsets.empty(), "gatherPool needs at least one batch item");
+    const AllocGate gate(gatherRegion());
     const std::size_t batch = offsets.size();
-    std::vector<float> row(dim_);
     for (std::size_t b = 0; b < batch; ++b) {
         const std::size_t begin = offsets[b];
         const std::size_t end =
@@ -95,21 +122,8 @@ EmbeddingTable::gatherPool(const std::vector<std::uint32_t> &indices,
                   "offset array is not monotone within the index array");
         float *acc = out + b * dim_;
         std::memset(acc, 0, dim_ * sizeof(float));
-        for (std::size_t i = begin; i < end; ++i) {
-            const std::uint32_t id = indices[i];
-            ERC_CHECK(id < numRows_, "gather index " << id
-                                                     << " out of range");
-            if (storage_ == Storage::Materialized) {
-                const float *src = &data_[static_cast<std::size_t>(id) *
-                                          dim_];
-                for (std::uint32_t d = 0; d < dim_; ++d)
-                    acc[d] += src[d];
-            } else {
-                synthesizeRow(id, row.data());
-                for (std::uint32_t d = 0; d < dim_; ++d)
-                    acc[d] += row[d];
-            }
-        }
+        for (std::size_t i = begin; i < end; ++i)
+            addRowTo(indices[i], acc);
     }
     return indices.size();
 }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "elasticrec/common/hotpath.h"
 #include "elasticrec/common/units.h"
 
 namespace erec::embedding {
@@ -61,6 +62,15 @@ class EmbeddingTable
     float at(std::uint64_t row, std::uint32_t d) const;
 
     /**
+     * Accumulate one row into `acc` (length dim()): acc[d] += row[d].
+     * The pooling primitive of the gather kernels — works directly on
+     * the accumulator, so virtual rows need no scratch buffer and the
+     * steady gather path stays allocation-free.
+     */
+    ERC_HOT_PATH
+    void addRowTo(std::uint64_t row, float *acc) const;
+
+    /**
      * Gather-and-sum-pool kernel (the paper's embedding layer
      * operation). For each batch item i, sums the rows addressed by
      * indices[offsets[i] .. offsets[i+1]) into out[i*dim .. (i+1)*dim).
@@ -70,6 +80,7 @@ class EmbeddingTable
      * @param out Output buffer of size offsets.size() * dim().
      * @return Number of rows gathered.
      */
+    ERC_HOT_PATH
     std::size_t gatherPool(const std::vector<std::uint32_t> &indices,
                            const std::vector<std::uint32_t> &offsets,
                            float *out) const;

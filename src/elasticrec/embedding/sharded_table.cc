@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <cstring>
 
+#include "elasticrec/common/alloc_tracker.h"
 #include "elasticrec/common/error.h"
 
 namespace erec::embedding {
+
+namespace {
+
+/** Charged by the gate around the shard-local gather loop. */
+AllocRegion &
+shardGatherRegion()
+{
+    static AllocRegion region("shard-gather");
+    return region;
+}
+
+} // namespace
 
 ShardedTable::ShardedTable(std::shared_ptr<const EmbeddingTable> table,
                            std::vector<std::uint32_t> sort_perm,
@@ -74,8 +87,8 @@ ShardedTable::gatherPool(std::uint32_t s,
     const ShardRange range = shardRange(s);
     const std::uint32_t dim = table_->dim();
     ERC_CHECK(!offsets.empty(), "gatherPool needs at least one batch item");
+    const AllocGate gate(shardGatherRegion());
     const std::size_t batch = offsets.size();
-    std::vector<float> row(dim);
     for (std::size_t b = 0; b < batch; ++b) {
         const std::size_t begin = offsets[b];
         const std::size_t end =
@@ -88,9 +101,9 @@ ShardedTable::gatherPool(std::uint32_t s,
             const std::uint64_t rank = range.begin + local_indices[i];
             ERC_CHECK(rank < range.end,
                       "local gather index escapes the shard");
-            table_->readRow(originalId(rank), row.data());
-            for (std::uint32_t d = 0; d < dim; ++d)
-                acc[d] += row[d];
+            // Accumulate in place: same values, same lane order as the
+            // old readRow-into-scratch path, with no row buffer.
+            table_->addRowTo(originalId(rank), acc);
         }
     }
     return local_indices.size();

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "elasticrec/common/hotpath.h"
 #include "elasticrec/common/units.h"
 #include "elasticrec/embedding/embedding_table.h"
 
@@ -75,6 +76,7 @@ class ShardedTable
      * output of the bucketizer). Output layout matches
      * EmbeddingTable::gatherPool.
      */
+    ERC_HOT_PATH
     std::size_t gatherPool(std::uint32_t s,
                            const std::vector<std::uint32_t> &local_indices,
                            const std::vector<std::uint32_t> &offsets,

@@ -66,8 +66,13 @@ void
 Mlp::forward(const float *in, std::size_t batch, float *out) const
 {
     const auto &widths = spec_.widths;
-    std::vector<float> cur(in, in + batch * widths.front());
-    std::vector<float> next;
+    // Per-thread activation scratch, reused across calls: assign()
+    // only reallocates while a buffer is still growing toward the
+    // steady batch-times-width working set, so warm forward passes
+    // allocate nothing. Safe because forward() never calls itself.
+    static thread_local std::vector<float> cur;
+    static thread_local std::vector<float> next;
+    cur.assign(in, in + batch * widths.front());
     for (std::size_t l = 0; l < spec_.numLayers(); ++l) {
         const std::size_t fan_in = widths[l];
         const std::size_t fan_out = widths[l + 1];

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "elasticrec/common/hotpath.h"
 #include "elasticrec/common/units.h"
 
 namespace erec::model {
@@ -50,8 +51,10 @@ class Mlp
 
     /**
      * Forward one batch. `in` is batch x inputDim, `out` is batch x
-     * outputDim.
+     * outputDim. Uses per-thread activation scratch: allocation-free
+     * once a thread's buffers reached the steady working-set size.
      */
+    ERC_HOT_PATH
     void forward(const float *in, std::size_t batch, float *out) const;
 
     /** Convenience vector-based forward for a single sample. */

@@ -18,17 +18,24 @@
  * the queue is full, so an overloaded executor slows its clients down
  * instead of growing an unbounded backlog (the functional analogue of
  * the simulator's bounded pod queues).
+ *
+ * Hot-path discipline: storage is a fixed ring buffer sized at
+ * construction and popBatch() fills a caller-owned batch vector, so
+ * the steady state allocates nothing — push/pop are wrapped in
+ * AllocGate scopes charged to the "batch-queue" region, and the
+ * `erec_hotpath` static pass treats both as roots.
  */
 
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <vector>
 
+#include "elasticrec/common/alloc_tracker.h"
 #include "elasticrec/common/error.h"
+#include "elasticrec/common/hotpath.h"
 #include "elasticrec/common/thread_annotations.h"
 
 namespace erec::runtime {
@@ -47,6 +54,14 @@ struct BatchQueueOptions
     std::chrono::microseconds maxBatchDelay{100};
 };
 
+/** Region charged by the AllocGates inside push() and popBatch(). */
+inline AllocRegion &
+batchQueueRegion()
+{
+    static AllocRegion region("batch-queue");
+    return region;
+}
+
 template <typename T>
 class BatchQueue
 {
@@ -57,53 +72,63 @@ class BatchQueue
         ERC_CHECK(opts_.maxBatchSize >= 1, "max batch size must be >= 1");
         ERC_CHECK(opts_.maxBatchDelay.count() >= 0,
                   "max batch delay must be non-negative");
+        // All storage up front: the steady state never reallocates.
+        ring_.resize(opts_.capacity);
     }
 
     /**
      * Enqueue one item, blocking while the queue is at capacity.
      * Returns false (item dropped) when the queue has been closed.
      */
+    ERC_HOT_PATH
     bool push(T item)
     {
+        const AllocGate gate(batchQueueRegion());
         std::unique_lock<std::mutex> lock(mutex_);
-        while (items_.size() >= opts_.capacity && !closed_)
+        while (size_ >= opts_.capacity && !closed_)
             notFull_.wait(lock);
         if (closed_)
             return false;
-        items_.push_back(std::move(item));
+        ring_[(head_ + size_) % opts_.capacity] = std::move(item);
+        ++size_;
         ++totalPushed_;
         notEmpty_.notify_one();
         return true;
     }
 
     /**
-     * Dequeue the next coalesced batch (1..maxBatchSize items, FIFO).
-     * An empty result means the queue is closed and fully drained.
+     * Dequeue the next coalesced batch (1..maxBatchSize items, FIFO)
+     * into `batch`, which is cleared first and whose capacity is
+     * reused across calls (hence allocation-free once warm). An empty
+     * result means the queue is closed and fully drained.
      */
-    std::vector<T> popBatch()
+    ERC_HOT_PATH
+    void popBatch(std::vector<T> *batch)
     {
-        std::vector<T> batch;
+        batch->clear();
+        // No-op once the buffer ever reached maxBatchSize capacity.
+        batch->reserve(opts_.maxBatchSize); // ERC_HOT_PATH_ALLOW("reserve-once: amortized to zero after the first pop")
+        const AllocGate gate(batchQueueRegion());
         std::unique_lock<std::mutex> lock(mutex_);
-        while (items_.empty() && !closed_)
+        while (size_ == 0 && !closed_)
             notEmpty_.wait(lock);
-        if (items_.empty())
-            return batch; // Closed and drained.
-        takeAvailable(&batch);
-        if (batch.size() < opts_.maxBatchSize &&
+        if (size_ == 0)
+            return; // Closed and drained.
+        takeAvailable(batch);
+        if (batch->size() < opts_.maxBatchSize &&
             opts_.maxBatchDelay.count() > 0) {
             const auto deadline =
                 std::chrono::steady_clock::now() + opts_.maxBatchDelay;
-            while (batch.size() < opts_.maxBatchSize && !closed_) {
+            while (batch->size() < opts_.maxBatchSize && !closed_) {
                 if (notEmpty_.wait_until(lock, deadline) ==
                     std::cv_status::timeout) {
-                    takeAvailable(&batch);
+                    takeAvailable(batch);
                     break;
                 }
-                takeAvailable(&batch);
+                takeAvailable(batch);
             }
         }
         notFull_.notify_all();
-        return batch;
     }
 
     /**
@@ -123,7 +148,7 @@ class BatchQueue
     std::size_t depth() const
     {
         const std::lock_guard<std::mutex> lock(mutex_);
-        return items_.size();
+        return size_;
     }
 
     bool closed() const
@@ -144,9 +169,11 @@ class BatchQueue
   private:
     void takeAvailable(std::vector<T> *batch) ERC_REQUIRES(mutex_)
     {
-        while (batch->size() < opts_.maxBatchSize && !items_.empty()) {
-            batch->push_back(std::move(items_.front()));
-            items_.pop_front();
+        while (batch->size() < opts_.maxBatchSize && size_ > 0) {
+            // Bounded by the reserve() in popBatch(): never grows.
+            batch->push_back(std::move(ring_[head_])); // ERC_HOT_PATH_ALLOW("bounded by maxBatchSize; the caller's buffer is pre-reserved")
+            head_ = (head_ + 1) % opts_.capacity;
+            --size_;
         }
     }
 
@@ -154,7 +181,10 @@ class BatchQueue
     mutable std::mutex mutex_;
     std::condition_variable notEmpty_;
     std::condition_variable notFull_;
-    std::deque<T> items_ ERC_GUARDED_BY(mutex_);
+    /** Fixed-size ring; [head_, head_+size_) mod capacity is live. */
+    std::vector<T> ring_ ERC_GUARDED_BY(mutex_);
+    std::size_t head_ ERC_GUARDED_BY(mutex_) = 0;
+    std::size_t size_ ERC_GUARDED_BY(mutex_) = 0;
     bool closed_ ERC_GUARDED_BY(mutex_) = false;
     std::uint64_t totalPushed_ ERC_GUARDED_BY(mutex_) = 0;
 };

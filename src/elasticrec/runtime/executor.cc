@@ -30,11 +30,13 @@ Executor::parallelFor(std::size_t n,
     // the caller takes stride 0 so it always participates and the call
     // cannot deadlock on a busy pool unless the pool is wedged by
     // unrelated long-running tasks.
+    // External fork-join only: calls from pump workers degrade inline
+    // above, so the steady serving path never reaches this fan-out.
     const std::size_t strides = std::min(n, pool_->numThreads() + 1);
     std::vector<std::future<void>> pending;
-    pending.reserve(strides - 1);
+    pending.reserve(strides - 1); // ERC_HOT_PATH_ALLOW("external fork-join callers only; pump workers take the inline path above")
     for (std::size_t s = 1; s < strides; ++s) {
-        pending.push_back(pool_->submit([&body, s, strides, n] {
+        pending.push_back(pool_->submit([&body, s, strides, n] { // ERC_HOT_PATH_ALLOW("external fork-join callers only; pump workers take the inline path above")
             for (std::size_t i = s; i < n; i += strides)
                 body(i);
         }));

@@ -1,5 +1,6 @@
 #include "elasticrec/runtime/thread_pool.h"
 
+#include "elasticrec/common/alloc_tracker.h"
 #include "elasticrec/common/error.h"
 
 namespace erec::runtime {
@@ -8,6 +9,14 @@ namespace {
 
 /** Set for the lifetime of a worker thread's loop. */
 thread_local bool t_onPoolWorker = false;
+
+/** Charged by the gate around the worker loop's dequeue section. */
+AllocRegion &
+threadPoolRegion()
+{
+    static AllocRegion region("thread-pool-dequeue");
+    return region;
+}
 
 } // namespace
 
@@ -36,7 +45,9 @@ ThreadPool::post(std::function<void()> task)
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         ERC_CHECK(!stopping_, "submit() on a stopping thread pool");
-        tasks_.push_back(std::move(task));
+        // Feed side of the pool, not the per-query steady state: pump
+        // loops are posted once at dispatcher construction.
+        tasks_.push_back(std::move(task)); // ERC_HOT_PATH_ALLOW("pool feed; steady serving posts long-lived pumps once, not per-query tasks")
     }
     cv_.notify_one();
 }
@@ -81,9 +92,15 @@ ThreadPool::workerLoop() ERC_NO_THREAD_SAFETY_ANALYSIS
             cv_.wait(lock);
         if (tasks_.empty())
             return; // Stopping and fully drained.
-        auto task = std::move(tasks_.front());
-        tasks_.pop_front();
-        ++busy_;
+        std::function<void()> task;
+        {
+            // Steady-state dequeue: moving the task off the deque must
+            // not allocate (the AllocGate proves it at test time).
+            const AllocGate gate(threadPoolRegion());
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+            ++busy_;
+        }
         lock.unlock();
         task();
         lock.lock();

@@ -32,6 +32,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "elasticrec/common/hotpath.h"
 #include "elasticrec/common/thread_annotations.h"
 
 namespace erec::runtime {
@@ -57,7 +58,9 @@ class ThreadPool
     auto submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
     {
         using R = std::invoke_result_t<std::decay_t<F>>;
-        auto task = std::make_shared<std::packaged_task<R()>>(
+        // One task handle per submission: steady-state serving submits
+        // long-lived pump loops once, not per-query tasks.
+        auto task = std::make_shared<std::packaged_task<R()>>( // ERC_HOT_PATH_ALLOW("one handle per submission; pumps are submitted once, fork-join degrades inline on pool workers")
             std::forward<F>(fn));
         std::future<R> future = task->get_future();
         post([task] { (*task)(); });

@@ -4,6 +4,41 @@
 
 namespace erec::serving {
 
+namespace {
+
+/** One fan-out unit of the concurrent path: (table, shard). */
+struct GatherJob
+{
+    std::uint32_t table;
+    std::uint32_t shard;
+};
+
+/**
+ * Per-thread reusable serve() buffers. Buckets, jobs and partial-merge
+ * buffers keep their capacity across queries, so a warm serving
+ * thread's bucketize/gather/merge machinery allocates nothing; only
+ * the model-compute calls (runBottom, interactAndPredict) and the
+ * returned prediction vector still own allocations.
+ */
+struct ServeScratch
+{
+    /** Concurrent path: per-table bucketized lookups. */
+    std::vector<std::vector<workload::SparseLookup>> buckets;
+    std::vector<GatherJob> jobs;
+    /** Concurrent path: one pooled partial per gather job. */
+    std::vector<std::vector<float>> parts;
+    /** Serial path: one buckets buffer, reused table by table. */
+    std::vector<workload::SparseLookup> serialBuckets;
+    /** Serial path: one shard partial, reused shard by shard. */
+    std::vector<float> serialPart;
+    /** Both paths: per-table pooled embeddings. */
+    std::vector<std::vector<float>> pooled;
+};
+
+thread_local ServeScratch t_scratch;
+
+} // namespace
+
 DenseShardServer::DenseShardServer(
     std::shared_ptr<const model::Dlrm> dlrm,
     std::vector<core::Bucketizer> bucketizers,
@@ -46,8 +81,11 @@ DenseShardServer::serve(const std::vector<float> &dense_in,
     const std::uint32_t dim = config.embeddingDim;
     served_.fetch_add(1, std::memory_order_relaxed);
 
+    // Arena-style per-thread scratch (refit to this model's table
+    // count each call): allocation-free once warm.
+    ServeScratch &s = t_scratch;
     std::vector<float> bottom;
-    std::vector<std::vector<float>> pooled(config.numTables);
+    s.pooled.resize(config.numTables); // ERC_HOT_PATH_ALLOW("refit to table count; no-op for a warm thread")
 
     if (executor_ != nullptr && !executor_->serial()) {
         // Concurrent path: bucketize sequentially (cheap and
@@ -56,42 +94,36 @@ DenseShardServer::serve(const std::vector<float> &dense_in,
         // per-shard buffers and are merged afterwards in fixed (table,
         // shard) order, so the floating-point accumulation order — and
         // therefore every output byte — matches the serial path.
-        std::vector<std::vector<workload::SparseLookup>> buckets(
-            config.numTables);
-        struct GatherJob
-        {
-            std::uint32_t table;
-            std::uint32_t shard;
-        };
-        std::vector<GatherJob> jobs;
+        s.buckets.resize(config.numTables); // ERC_HOT_PATH_ALLOW("refit to table count; no-op for a warm thread")
+        s.jobs.clear();
         for (std::uint32_t t = 0; t < config.numTables; ++t) {
-            buckets[t] = bucketizers_[t].bucketize(lookups[t]);
-            for (std::uint32_t s = 0; s < buckets[t].size(); ++s)
-                if (!buckets[t][s].indices.empty())
-                    jobs.push_back({t, s});
+            bucketizers_[t].bucketizeInto(lookups[t], &s.buckets[t]);
+            for (std::uint32_t sh = 0; sh < s.buckets[t].size(); ++sh)
+                if (!s.buckets[t][sh].indices.empty())
+                    s.jobs.push_back({t, sh}); // ERC_HOT_PATH_ALLOW("bounded by total shard count; capacity reused across queries")
         }
-        std::vector<std::vector<float>> parts(jobs.size());
-        executor_->parallelFor(jobs.size() + 1, [&](std::size_t i) {
+        s.parts.resize(s.jobs.size()); // ERC_HOT_PATH_ALLOW("refit to job count; no-op for a warm thread")
+        executor_->parallelFor(s.jobs.size() + 1, [&](std::size_t i) {
             if (i == 0) {
                 bottom = dlrm_->runBottom(dense_in, batch);
                 return;
             }
-            const GatherJob &job = jobs[i - 1];
-            parts[i - 1] = shards_[job.table][job.shard]->gather(
-                buckets[job.table][job.shard]);
+            const GatherJob &job = s.jobs[i - 1];
+            shards_[job.table][job.shard]->gatherInto(
+                s.buckets[job.table][job.shard], &s.parts[i - 1]);
         });
         for (std::uint32_t t = 0; t < config.numTables; ++t)
-            pooled[t].assign(batch * dim, 0.0f);
-        for (std::size_t j = 0; j < jobs.size(); ++j) {
-            auto &dst = pooled[jobs[j].table];
+            s.pooled[t].assign(batch * dim, 0.0f);
+        for (std::size_t j = 0; j < s.jobs.size(); ++j) {
+            auto &dst = s.pooled[s.jobs[j].table];
             for (std::size_t i = 0; i < dst.size(); ++i)
-                dst[i] += parts[j][i];
+                dst[i] += s.parts[j][i];
         }
-        return dlrm_->interactAndPredict(bottom, pooled, batch);
+        return dlrm_->interactAndPredict(bottom, s.pooled, batch);
     }
 
-    // Serial path (no executor, or a serial one): the pre-executor
-    // code, byte for byte.
+    // Serial path (no executor, or a serial one): same computation in
+    // the same order as the pre-executor code.
     // (1) Bottom MLP runs concurrently with the gather RPCs in the real
     // system; functionally it is just computed first here.
     bottom = dlrm_->runBottom(dense_in, batch);
@@ -100,19 +132,20 @@ DenseShardServer::serve(const std::vector<float> &dense_in,
     // pooling distributes over the shard partition, so the per-table
     // pooled output is the elementwise sum of the shard responses.
     for (std::uint32_t t = 0; t < config.numTables; ++t) {
-        const auto buckets = bucketizers_[t].bucketize(lookups[t]);
-        pooled[t].assign(batch * dim, 0.0f);
-        for (std::uint32_t s = 0; s < buckets.size(); ++s) {
-            if (buckets[s].indices.empty())
+        bucketizers_[t].bucketizeInto(lookups[t], &s.serialBuckets);
+        s.pooled[t].assign(batch * dim, 0.0f);
+        for (std::uint32_t sh = 0; sh < s.serialBuckets.size(); ++sh) {
+            if (s.serialBuckets[sh].indices.empty())
                 continue; // No gathers land in this shard: skip the RPC.
-            const auto part = shards_[t][s]->gather(buckets[s]);
-            for (std::size_t i = 0; i < pooled[t].size(); ++i)
-                pooled[t][i] += part[i];
+            shards_[t][sh]->gatherInto(s.serialBuckets[sh],
+                                       &s.serialPart);
+            for (std::size_t i = 0; i < s.pooled[t].size(); ++i)
+                s.pooled[t][i] += s.serialPart[i];
         }
     }
 
     // (4) Feature interaction + top MLP + sigmoid.
-    return dlrm_->interactAndPredict(bottom, pooled, batch);
+    return dlrm_->interactAndPredict(bottom, s.pooled, batch);
 }
 
 std::vector<float>

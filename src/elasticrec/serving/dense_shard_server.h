@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "elasticrec/common/hotpath.h"
 #include "elasticrec/core/bucketizer.h"
 #include "elasticrec/model/dlrm.h"
 #include "elasticrec/runtime/executor.h"
@@ -53,12 +54,14 @@ class DenseShardServer
      * @param batch Number of items.
      * @return Click probability per item.
      */
+    ERC_HOT_PATH
     std::vector<float>
     serve(const std::vector<float> &dense_in,
           const std::vector<workload::SparseLookup> &lookups,
           std::size_t batch) const;
 
     /** Serve a generated query using synthetic dense features. */
+    ERC_HOT_PATH
     std::vector<float> serve(const workload::Query &query) const;
 
     /**

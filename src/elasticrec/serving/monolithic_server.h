@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "elasticrec/common/hotpath.h"
 #include "elasticrec/model/dlrm.h"
 #include "elasticrec/workload/query_generator.h"
 
@@ -27,12 +28,14 @@ class MonolithicServer
      * the model is immutable, so a QueryDispatcher may drive one
      * monolithic server from several executor workers.
      */
+    ERC_HOT_PATH
     std::vector<float>
     serve(const std::vector<float> &dense_in,
           const std::vector<workload::SparseLookup> &lookups,
           std::size_t batch) const;
 
     /** Serve a generated query using synthetic dense features. */
+    ERC_HOT_PATH
     std::vector<float> serve(const workload::Query &query) const;
 
     /** Memory footprint of this server's parameters. */

@@ -4,9 +4,22 @@
 #include <string>
 #include <utility>
 
+#include "elasticrec/common/alloc_tracker.h"
 #include "elasticrec/common/error.h"
 
 namespace erec::serving {
+
+namespace {
+
+/** Charged by the gates around the pump loop's queue interactions. */
+AllocRegion &
+dispatcherPumpRegion()
+{
+    static AllocRegion region("dispatcher-pump");
+    return region;
+}
+
+} // namespace
 
 QueryDispatcher::QueryDispatcher(
     ServeFn serve, std::shared_ptr<runtime::Executor> executor)
@@ -143,12 +156,24 @@ QueryDispatcher::serveJob(Job *job)
 void
 QueryDispatcher::pumpLoop()
 {
+    // One batch buffer per pump worker, reused for the worker's whole
+    // lifetime: after the first pop its capacity is maxBatchSize and
+    // the steady loop performs zero allocations.
+    std::vector<Job> batch;
+    batch.reserve(queue_->options().maxBatchSize); // ERC_HOT_PATH_ALLOW("reserve-once at pump-worker startup")
     for (;;) {
-        auto batch = queue_->popBatch();
+        {
+            // The serve_ call stays outside the gate: model compute
+            // owns its own allocation budget (see DESIGN.md section
+            // 10); the dispatcher machinery itself must stay at zero.
+            const AllocGate gate(dispatcherPumpRegion());
+            queue_->popBatch(&batch);
+        }
         if (batch.empty())
             return; // Queue closed and drained.
         for (auto &job : batch)
             serveJob(&job);
+        const AllocGate gate(dispatcherPumpRegion());
         batchesServed_.fetch_add(1, std::memory_order_relaxed);
         const std::size_t bin =
             std::min(batch.size(), batchHist_.size()) - 1;

@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "elasticrec/common/hotpath.h"
 #include "elasticrec/obs/metric.h"
 #include "elasticrec/runtime/batch_queue.h"
 #include "elasticrec/runtime/executor.h"
@@ -62,6 +63,7 @@ class QueryDispatcher
      * arrives through the future. Blocks while the request queue is at
      * capacity (backpressure). Serial executors serve inline.
      */
+    ERC_HOT_PATH
     std::future<std::vector<float>> submit(workload::Query query);
 
     /**
@@ -97,6 +99,7 @@ class QueryDispatcher
     };
 
     void serveJob(Job *job);
+    ERC_HOT_PATH
     void pumpLoop();
 
     ServeFn serve_;

@@ -29,14 +29,24 @@ SparseShardServer::memBytes() const
 std::vector<float>
 SparseShardServer::gather(const workload::SparseLookup &local_lookup) const
 {
+    std::vector<float> pooled;
+    gatherInto(local_lookup, &pooled);
+    return pooled;
+}
+
+void
+SparseShardServer::gatherInto(const workload::SparseLookup &local_lookup,
+                              std::vector<float> *pooled) const
+{
     const std::size_t batch = local_lookup.batchSize();
     ERC_CHECK(batch > 0, "gather request must carry at least one item");
-    std::vector<float> pooled(batch * table_->table().dim(), 0.0f);
+    // assign() reuses the caller's capacity; gatherPool overwrites the
+    // zeroed buffer per batch item, exactly as the by-value path did.
+    pooled->assign(batch * table_->table().dim(), 0.0f);
     rowsGathered_.fetch_add(
         table_->gatherPool(shardId_, local_lookup.indices,
-                           local_lookup.offsets, pooled.data()),
+                           local_lookup.offsets, pooled->data()),
         std::memory_order_relaxed);
-    return pooled;
 }
 
 } // namespace erec::serving

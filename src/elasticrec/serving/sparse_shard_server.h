@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "elasticrec/common/hotpath.h"
 #include "elasticrec/embedding/sharded_table.h"
 #include "elasticrec/workload/query_generator.h"
 
@@ -41,8 +42,18 @@ class SparseShardServer
      * the load counter is atomic, so executor workers may gather from
      * one shard concurrently.
      */
+    ERC_HOT_PATH
     std::vector<float>
     gather(const workload::SparseLookup &local_lookup) const;
+
+    /**
+     * gather() into a caller-owned buffer (resized to batch x dim) so
+     * a warm caller pays no allocation — the dense frontend's serving
+     * variant. Results are identical to gather().
+     */
+    ERC_HOT_PATH
+    void gatherInto(const workload::SparseLookup &local_lookup,
+                    std::vector<float> *pooled) const;
 
     /** Total rows gathered by this server so far (load accounting). */
     std::uint64_t rowsGathered() const

@@ -16,6 +16,7 @@ Pod::Pod(std::uint64_t id, std::vector<SimTime> stage_latencies)
     }
 }
 
+// ERC_HOT_PATH_ALLOW("simulator time-domain: shares the `submit` base name with the dispatcher root, but models queueing in virtual time, not the serving hot path")
 void
 Pod::submit(EventQueue &queue, WorkItem item)
 {

@@ -46,6 +46,7 @@ QueryGenerator::setIdMap(std::uint32_t table, std::vector<std::uint32_t> map)
     idMaps_[table] = std::move(map);
 }
 
+// ERC_HOT_PATH_ALLOW("workload generation: shares the `next` base name with Rng's PRNG step, but runs in the driver ahead of submit(), not on the serving path")
 Query
 QueryGenerator::next(SimTime arrival)
 {

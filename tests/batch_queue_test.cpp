@@ -39,8 +39,9 @@ TEST(BatchQueueTest, CoalescesFifoUpToMaxBatchSize)
 
     std::vector<int> seen;
     std::vector<std::size_t> batch_sizes;
+    std::vector<int> batch;
     while (seen.size() < 10) {
-        const auto batch = q.popBatch();
+        q.popBatch(&batch);
         ASSERT_FALSE(batch.empty());
         ASSERT_LE(batch.size(), 4u);
         batch_sizes.push_back(batch.size());
@@ -64,7 +65,8 @@ TEST(BatchQueueTest, LingerDelayCollectsLateArrivals)
     });
     // popBatch holds a short batch and lingers: the late pushes land
     // well inside the 200 ms window and must join this batch.
-    const auto batch = q.popBatch();
+    std::vector<int> batch;
+    q.popBatch(&batch);
     late.join();
     EXPECT_EQ(batch, (std::vector<int>{1, 2, 3}));
 }
@@ -74,7 +76,8 @@ TEST(BatchQueueTest, ZeroDelayFlushesShortBatchImmediately)
     BatchQueue<int> q(opts(64, 8, std::chrono::microseconds(0)));
     ASSERT_TRUE(q.push(42));
     const auto t0 = std::chrono::steady_clock::now();
-    const auto batch = q.popBatch();
+    std::vector<int> batch;
+    q.popBatch(&batch);
     const auto elapsed = std::chrono::steady_clock::now() - t0;
     EXPECT_EQ(batch, (std::vector<int>{42}));
     EXPECT_LT(elapsed, std::chrono::seconds(5)); // No linger stall.
@@ -87,7 +90,9 @@ TEST(BatchQueueTest, FullBatchReturnsWithoutWaitingForDelay)
     BatchQueue<int> q(opts(64, 2, std::chrono::hours(1)));
     ASSERT_TRUE(q.push(1));
     ASSERT_TRUE(q.push(2));
-    EXPECT_EQ(q.popBatch(), (std::vector<int>{1, 2}));
+    std::vector<int> batch;
+    q.popBatch(&batch);
+    EXPECT_EQ(batch, (std::vector<int>{1, 2}));
 }
 
 TEST(BatchQueueTest, CapacityBoundBackpressuresProducer)
@@ -101,10 +106,11 @@ TEST(BatchQueueTest, CapacityBoundBackpressuresProducer)
         }
     });
     std::vector<int> seen;
+    std::vector<int> batch;
     while (seen.size() < 10) {
         // The bound holds at every observation point.
         EXPECT_LE(q.depth(), 2u);
-        const auto batch = q.popBatch();
+        q.popBatch(&batch);
         seen.insert(seen.end(), batch.begin(), batch.end());
     }
     producer.join();
@@ -120,15 +126,22 @@ TEST(BatchQueueTest, CloseRejectsPushesAndDrainsBacklog)
     q.close();
     EXPECT_TRUE(q.closed());
     EXPECT_FALSE(q.push(3)); // Rejected, not queued.
-    EXPECT_EQ(q.popBatch(), (std::vector<int>{1, 2}));
-    EXPECT_TRUE(q.popBatch().empty()); // Closed and drained.
+    std::vector<int> batch;
+    q.popBatch(&batch);
+    EXPECT_EQ(batch, (std::vector<int>{1, 2}));
+    q.popBatch(&batch);
+    EXPECT_TRUE(batch.empty()); // Closed and drained.
     EXPECT_EQ(q.totalPushed(), 2u);
 }
 
 TEST(BatchQueueTest, CloseWakesBlockedConsumer)
 {
     BatchQueue<int> q(opts(64, 4, std::chrono::microseconds(0)));
-    std::thread consumer([&q] { EXPECT_TRUE(q.popBatch().empty()); });
+    std::thread consumer([&q] {
+        std::vector<int> batch;
+        q.popBatch(&batch);
+        EXPECT_TRUE(batch.empty());
+    });
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
     q.close();
     consumer.join();

@@ -150,5 +150,109 @@ TEST(BenchdiffCompareTest, RejectsDocumentsWithoutSweep)
         ConfigError);
 }
 
+std::string
+benchJsonWithAllocs(double qps1, double qps2, double a1, double a2)
+{
+    return "{\n  \"sweep\": [\n"
+           "    {\"threads\": 1, \"qps\": " +
+           std::to_string(qps1) +
+           ", \"allocs_per_query\": " + std::to_string(a1) +
+           "},\n"
+           "    {\"threads\": 4, \"qps\": " +
+           std::to_string(qps2) +
+           ", \"allocs_per_query\": " + std::to_string(a2) +
+           "}\n  ]\n}\n";
+}
+
+TEST(BenchdiffMetricToleranceTest, ParsesNameEqualsTolerance)
+{
+    const auto exact = parseMetricTolerance("allocs_per_query=0");
+    EXPECT_EQ(exact.first, "allocs_per_query");
+    EXPECT_DOUBLE_EQ(exact.second, 0.0);
+
+    const auto loose = parseMetricTolerance("p50_ms=10%");
+    EXPECT_EQ(loose.first, "p50_ms");
+    EXPECT_DOUBLE_EQ(loose.second, 0.10);
+
+    EXPECT_THROW(parseMetricTolerance("allocs_per_query"), ConfigError);
+    EXPECT_THROW(parseMetricTolerance("=0"), ConfigError);
+    EXPECT_THROW(parseMetricTolerance("allocs_per_query=abc"),
+                 ConfigError);
+}
+
+TEST(BenchdiffMetricToleranceTest, ExactZeroGatePassesAtZero)
+{
+    const auto baseline =
+        parseJson(benchJsonWithAllocs(1000, 2500, 0, 0));
+    const auto current =
+        parseJson(benchJsonWithAllocs(1100, 2600, 0, 0));
+    const auto report = compare(baseline, current, 0.15,
+                                {{"allocs_per_query", 0.0}});
+    EXPECT_TRUE(report.pass);
+    ASSERT_EQ(report.points.size(), 2u);
+    ASSERT_EQ(report.points[0].metrics.size(), 1u);
+    EXPECT_EQ(report.points[0].metrics[0].name, "allocs_per_query");
+    EXPECT_FALSE(report.points[0].metrics[0].regressed);
+}
+
+TEST(BenchdiffMetricToleranceTest, ExactZeroGateFailsOnAnyAllocation)
+{
+    const auto baseline =
+        parseJson(benchJsonWithAllocs(1000, 2500, 0, 0));
+    // QPS is fine; a single steady-state allocation per query fails.
+    const auto current =
+        parseJson(benchJsonWithAllocs(1100, 2600, 0, 1));
+    const auto report = compare(baseline, current, 0.15,
+                                {{"allocs_per_query", 0.0}});
+    EXPECT_FALSE(report.pass);
+    EXPECT_FALSE(report.points[1].metrics.empty());
+    EXPECT_TRUE(report.points[1].metrics[0].regressed);
+    EXPECT_NE(formatReport(report).find("REGRESSED"),
+              std::string::npos);
+}
+
+TEST(BenchdiffMetricToleranceTest, LowerIsBetterWithNonzeroTolerance)
+{
+    const auto baseline =
+        parseJson(benchJsonWithAllocs(1000, 2500, 10, 10));
+    // +5% is inside a 10% band; improvement is always fine.
+    const auto ok = compare(
+        baseline, parseJson(benchJsonWithAllocs(1000, 2500, 10.5, 2)),
+        0.15, {{"allocs_per_query", 0.10}});
+    EXPECT_TRUE(ok.pass);
+    // +50% is out.
+    const auto bad = compare(
+        baseline, parseJson(benchJsonWithAllocs(1000, 2500, 15, 10)),
+        0.15, {{"allocs_per_query", 0.10}});
+    EXPECT_FALSE(bad.pass);
+}
+
+TEST(BenchdiffMetricToleranceTest, MetricMissingFromCurrentFails)
+{
+    const auto baseline =
+        parseJson(benchJsonWithAllocs(1000, 2500, 0, 0));
+    // A current run that silently drops the metric must not pass the
+    // gate by omission.
+    const auto current = parseJson(benchJson(1100, 2600));
+    const auto report = compare(baseline, current, 0.15,
+                                {{"allocs_per_query", 0.0}});
+    EXPECT_FALSE(report.pass);
+    ASSERT_FALSE(report.points[0].metrics.empty());
+    EXPECT_TRUE(report.points[0].metrics[0].missing);
+    EXPECT_NE(formatReport(report).find("MISSING"), std::string::npos);
+}
+
+TEST(BenchdiffMetricToleranceTest, MetricMissingFromBaselineIsConfigError)
+{
+    // Gating on a metric the baseline never recorded is an operator
+    // mistake (exit 2), not a regression verdict.
+    const auto baseline = parseJson(benchJson(1000, 2500));
+    const auto current =
+        parseJson(benchJsonWithAllocs(1000, 2500, 0, 0));
+    EXPECT_THROW(compare(baseline, current, 0.15,
+                         {{"allocs_per_query", 0.0}}),
+                 ConfigError);
+}
+
 } // namespace
 } // namespace erec::benchdiff

@@ -346,6 +346,76 @@ TEST(LintToolTest, UnannotatedMutexScopeAndExemptions)
         "unannotated-mutex"));
 }
 
+TEST(LintToolTest, HotPathAnnotationMustPrecedeDeclarator)
+{
+    const std::string hdr = "#pragma once\nnamespace erec {\n";
+    // The blessed form: annotation directly before a declaration.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.h",
+                    hdr + "ERC_HOT_PATH\nvoid serve(int n);\n}\n"),
+        "hot-path-annotation"));
+    // Same line is fine too.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.h",
+                    hdr + "ERC_HOT_PATH void serve(int n);\n}\n"),
+        "hot-path-annotation"));
+    // Annotating a variable derives no analyzer root: flagged.
+    EXPECT_TRUE(hasRule(
+        lintContent("src/elasticrec/x/a.h",
+                    hdr + "ERC_HOT_PATH\nint counter = 0;\n}\n"),
+        "hot-path-annotation"));
+    // A dangling annotation at the end of a scope: flagged.
+    EXPECT_TRUE(hasRule(
+        lintContent("src/elasticrec/x/a.cc",
+                    "namespace erec {\nERC_HOT_PATH\n}\n"),
+        "hot-path-annotation"));
+    // Mentions inside comments are not annotations.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.h",
+                    hdr + "// ERC_HOT_PATH marks hot roots.\n"
+                          "int counter = 0;\n}\n"),
+        "hot-path-annotation"));
+    // The defining header is exempt (it #defines the macro).
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/common/hotpath.h",
+                    "#pragma once\n#define ERC_HOT_PATH\n"
+                    "#define ERC_HOT_PATH_ALLOW(reason)\n"
+                    "namespace erec {}\n"),
+        "hot-path-annotation"));
+}
+
+TEST(LintToolTest, HotPathAllowRequiresReason)
+{
+    const std::string hdr = "#pragma once\nnamespace erec {\n";
+    // The waiver is the documentation: a reason string is mandatory.
+    EXPECT_FALSE(hasRule(
+        lintContent(
+            "src/elasticrec/x/a.cc",
+            "namespace erec {\nvoid f(std::vector<int> *v) {\n"
+            "  v->reserve(8); // ERC_HOT_PATH_ALLOW(\"warm-up only\")\n"
+            "}\n}\n"),
+        "hot-path-annotation"));
+    EXPECT_TRUE(hasRule(
+        lintContent("src/elasticrec/x/a.cc",
+                    "namespace erec {\nvoid f(std::vector<int> *v) {\n"
+                    "  v->reserve(8); // ERC_HOT_PATH_ALLOW(\"\")\n"
+                    "}\n}\n"),
+        "hot-path-annotation"));
+    EXPECT_TRUE(hasRule(
+        lintContent("src/elasticrec/x/a.cc",
+                    "namespace erec {\nvoid f(std::vector<int> *v) {\n"
+                    "  v->reserve(8); // ERC_HOT_PATH_ALLOW()\n"
+                    "}\n}\n"),
+        "hot-path-annotation"));
+    // The rule itself honors erec-lint allow() like every other rule.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.h",
+                    hdr + "ERC_HOT_PATH // erec-lint: "
+                          "allow(hot-path-annotation)\n"
+                          "int counter = 0;\n}\n"),
+        "hot-path-annotation"));
+}
+
 TEST(LintToolTest, DiagnosticsCarryLocation)
 {
     const auto diags = lintContent("src/elasticrec/x/a.cc",

@@ -231,16 +231,17 @@ numberField(const JsonValue &entry, const std::string &key)
     return v->number;
 }
 
-/** Extract {threads -> qps} from a bench document's "sweep" array. */
-std::map<std::size_t, double>
-sweepQps(const JsonValue &doc, const std::string &which)
+/** Extract {threads -> entry} from a bench document's "sweep" array.
+ *  Pointers alias the document, which outlives the comparison. */
+std::map<std::size_t, const JsonValue *>
+sweepEntries(const JsonValue &doc, const std::string &which)
 {
     const JsonValue *sweep = doc.find("sweep");
     ERC_CHECK(sweep != nullptr &&
                   sweep->kind == JsonValue::Kind::Array &&
                   !sweep->array.empty(),
               which << " bench file has no non-empty \"sweep\" array");
-    std::map<std::size_t, double> out;
+    std::map<std::size_t, const JsonValue *> out;
     for (const JsonValue &entry : sweep->array) {
         ERC_CHECK(entry.kind == JsonValue::Kind::Object,
                   which << " sweep entries must be objects");
@@ -249,7 +250,8 @@ sweepQps(const JsonValue &doc, const std::string &which)
         ERC_CHECK(out.find(threads) == out.end(),
                   which << " sweep lists threads=" << threads
                         << " twice");
-        out[threads] = numberField(entry, "qps");
+        out[threads] = &entry;
+        (void)numberField(entry, "qps"); // Schema check up front.
     }
     return out;
 }
@@ -293,31 +295,70 @@ parseTolerance(const std::string &arg)
     return v;
 }
 
+std::pair<std::string, double>
+parseMetricTolerance(const std::string &arg)
+{
+    const std::size_t eq = arg.find('=');
+    ERC_CHECK(eq != std::string::npos && eq > 0,
+              "bad metric tolerance '"
+                  << arg << "' (want e.g. \"allocs_per_query=0\")");
+    return {arg.substr(0, eq), parseTolerance(arg.substr(eq + 1))};
+}
+
 DiffReport
 compare(const JsonValue &baseline, const JsonValue &current,
-        double tolerance)
+        double tolerance, const MetricTolerances &metric_tolerances)
 {
-    const auto base = sweepQps(baseline, "baseline");
-    const auto cur = sweepQps(current, "current");
+    const auto base = sweepEntries(baseline, "baseline");
+    const auto cur = sweepEntries(current, "current");
 
     DiffReport report;
     report.tolerance = tolerance;
-    for (const auto &[threads, base_qps] : base) {
+    for (const auto &[threads, base_entry] : base) {
         PointDiff p;
         p.threads = threads;
-        p.baselineQps = base_qps;
+        p.baselineQps = numberField(*base_entry, "qps");
         const auto it = cur.find(threads);
         if (it == cur.end()) {
             p.missing = true;
             p.regressed = true;
         } else {
-            p.currentQps = it->second;
-            p.ratio = base_qps > 0.0 ? p.currentQps / base_qps : 0.0;
+            p.currentQps = numberField(*it->second, "qps");
+            p.ratio =
+                p.baselineQps > 0.0 ? p.currentQps / p.baselineQps : 0.0;
             p.regressed =
-                p.currentQps < base_qps * (1.0 - tolerance);
+                p.currentQps < p.baselineQps * (1.0 - tolerance);
+        }
+        // Overridden metrics are lower-is-better: the baseline is a
+        // ceiling, so a zero baseline with zero tolerance demands an
+        // exact zero.
+        for (const auto &[name, metric_tol] : metric_tolerances) {
+            MetricDiff m;
+            m.name = name;
+            m.tolerance = metric_tol;
+            const JsonValue *base_v = base_entry->find(name);
+            ERC_CHECK(base_v != nullptr &&
+                          base_v->kind == JsonValue::Kind::Number,
+                      "baseline sweep entry (threads="
+                          << threads << ") lacks numeric \"" << name
+                          << "\" named by --metric-tolerance");
+            m.baseline = base_v->number;
+            const JsonValue *cur_v =
+                it == cur.end() ? nullptr : it->second->find(name);
+            if (cur_v == nullptr ||
+                cur_v->kind != JsonValue::Kind::Number) {
+                m.missing = true;
+                m.regressed = true;
+            } else {
+                m.current = cur_v->number;
+                m.regressed =
+                    m.current > m.baseline * (1.0 + metric_tol);
+            }
+            p.regressed = p.regressed || m.regressed;
+            p.metrics.push_back(std::move(m));
         }
         report.pass = report.pass && !p.regressed;
-        report.points.push_back(p);
+        report.points.push_back(std::move(p));
     }
     return report;
 }
@@ -335,16 +376,28 @@ formatReport(const DiffReport &report)
             out << ", MISSING from current run -> FAIL\n";
             continue;
         }
+        const bool qps_regressed =
+            p.currentQps < p.baselineQps * (1.0 - report.tolerance);
         out << ", current " << p.currentQps << " qps ("
             << p.ratio * 100.0 << "% of baseline) -> "
-            << (p.regressed ? "REGRESSED" : "ok") << "\n";
+            << (qps_regressed ? "REGRESSED" : "ok") << "\n";
+        for (const MetricDiff &m : p.metrics) {
+            out << "    " << m.name << ": baseline " << m.baseline;
+            if (m.missing) {
+                out << ", MISSING from current entry -> FAIL\n";
+                continue;
+            }
+            out << ", current " << m.current << " (tolerance "
+                << m.tolerance * 100.0 << "%) -> "
+                << (m.regressed ? "REGRESSED" : "ok") << "\n";
+        }
     }
     out << "benchdiff: "
-        << (report.pass ? "PASS" : "FAIL (QPS regression beyond ")
+        << (report.pass ? "PASS" : "FAIL (regression beyond ")
         << (report.pass ? ""
                         : std::to_string(static_cast<int>(
                               report.tolerance * 100.0 + 0.5)) +
-                              "% tolerance)")
+                              "% QPS tolerance or a metric override)")
         << "\n";
     return out.str();
 }

@@ -12,6 +12,16 @@
  * floor, so baselines can stay conservative enough to hold across CI
  * machine generations.
  *
+ * Beyond QPS, per-metric tolerance overrides (CLI:
+ * `--metric-tolerance name=value`, repeatable) gate additional
+ * *lower-is-better* sweep metrics: every baseline entry carrying the
+ * metric must be matched by current_value <= baseline_value *
+ * (1 + tolerance), so `--metric-tolerance allocs_per_query=0` against
+ * a baseline of 0 demands an exact zero. A baseline entry lacking an
+ * overridden metric is a config error (the override names a metric the
+ * baseline does not publish); a current entry lacking it fails the
+ * gate.
+ *
  * Parsing is a self-contained recursive-descent JSON reader (the repo
  * takes no third-party deps); it accepts general JSON, and compare()
  * then requires the bench schema: a top-level object with a "sweep"
@@ -21,6 +31,7 @@
 #include <cstddef>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace erec::benchdiff {
@@ -59,6 +70,31 @@ JsonValue parseJson(const std::string &text);
  */
 double parseTolerance(const std::string &arg);
 
+/**
+ * Parse a `--metric-tolerance` argument of the form "name=value",
+ * where value follows parseTolerance ("0.15" or "15%", [0, 1)).
+ * Raises erec::ConfigError on a missing '=', empty name or bad value.
+ */
+std::pair<std::string, double>
+parseMetricTolerance(const std::string &arg);
+
+/** Per-metric tolerance overrides (metric name -> tolerance). */
+using MetricTolerances = std::map<std::string, double>;
+
+/** Verdict for one overridden metric at one sweep point. */
+struct MetricDiff
+{
+    std::string name;
+    double baseline = 0.0;
+    /** Current value; 0 when the metric is missing. */
+    double current = 0.0;
+    double tolerance = 0.0;
+    /** True when the current entry lacks this metric. */
+    bool missing = false;
+    /** Lower-is-better: current > baseline * (1 + tolerance). */
+    bool regressed = false;
+};
+
 /** Verdict for one baseline sweep point. */
 struct PointDiff
 {
@@ -71,6 +107,8 @@ struct PointDiff
     /** True when the current run lacks this thread count entirely. */
     bool missing = false;
     bool regressed = false;
+    /** One verdict per overridden metric (empty without overrides). */
+    std::vector<MetricDiff> metrics;
 };
 
 /** Full comparison result. */
@@ -78,7 +116,8 @@ struct DiffReport
 {
     std::vector<PointDiff> points;
     double tolerance = 0.0;
-    /** True iff no point is missing or regressed. */
+    /** True iff no point (QPS or overridden metric) is missing or
+     *  regressed. */
     bool pass = true;
 };
 
@@ -87,9 +126,12 @@ struct DiffReport
  * sweep point must appear in the current run (matched on "threads")
  * and hold >= (1 - tolerance) of the baseline QPS. Extra points in the
  * current run are ignored — adding sweep coverage is not a regression.
+ * Each metric in `metric_tolerances` is additionally gated
+ * lower-is-better at every sweep point (see the file comment).
  */
 DiffReport compare(const JsonValue &baseline, const JsonValue &current,
-                   double tolerance);
+                   double tolerance,
+                   const MetricTolerances &metric_tolerances = {});
 
 /** Human-readable per-point report with a PASS/FAIL trailer. */
 std::string formatReport(const DiffReport &report);

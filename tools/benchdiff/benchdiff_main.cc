@@ -3,6 +3,7 @@
  * CLI of the perf-regression gate:
  *
  *     erec_benchdiff baseline.json current.json [--tolerance 15%]
+ *         [--metric-tolerance allocs_per_query=0 ...]
  *
  * Exit codes: 0 = within tolerance, 1 = regression (or baseline point
  * missing from the current run), 2 = usage / unreadable / malformed
@@ -13,6 +14,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "tools/benchdiff/benchdiff_core.h"
 
@@ -35,7 +37,8 @@ void
 usage()
 {
     std::cerr << "usage: erec_benchdiff <baseline.json> <current.json>"
-                 " [--tolerance 15%|0.15]\n";
+                 " [--tolerance 15%|0.15]"
+                 " [--metric-tolerance <name>=<tol> ...]\n";
     std::exit(2);
 }
 
@@ -45,10 +48,13 @@ int
 main(int argc, char **argv)
 {
     std::string baseline_path, current_path, tolerance_arg = "15%";
+    std::vector<std::string> metric_args;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--tolerance" && i + 1 < argc) {
             tolerance_arg = argv[++i];
+        } else if (arg == "--metric-tolerance" && i + 1 < argc) {
+            metric_args.push_back(argv[++i]);
         } else if (baseline_path.empty()) {
             baseline_path = arg;
         } else if (current_path.empty()) {
@@ -63,12 +69,17 @@ main(int argc, char **argv)
     try {
         const double tolerance =
             erec::benchdiff::parseTolerance(tolerance_arg);
+        erec::benchdiff::MetricTolerances metric_tolerances;
+        for (const auto &m : metric_args)
+            metric_tolerances.insert(
+                erec::benchdiff::parseMetricTolerance(m));
         const auto baseline =
             erec::benchdiff::parseJson(readFile(baseline_path));
         const auto current =
             erec::benchdiff::parseJson(readFile(current_path));
         const auto report =
-            erec::benchdiff::compare(baseline, current, tolerance);
+            erec::benchdiff::compare(baseline, current, tolerance,
+                                     metric_tolerances);
         std::cout << erec::benchdiff::formatReport(report);
         return report.pass ? 0 : 1;
     } catch (const std::exception &e) {

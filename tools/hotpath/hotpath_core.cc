@@ -1,0 +1,740 @@
+#include "tools/hotpath/hotpath_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <queue>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "tools/lint/lint_core.h"
+
+namespace erec::hotpath {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Keywords that can precede a `(` but never name a function. */
+const std::set<std::string> &
+keywordSet()
+{
+    static const std::set<std::string> kKeywords{
+        "if",       "for",     "while",   "switch",  "catch",
+        "return",   "sizeof",  "alignof", "alignas", "decltype",
+        "new",      "delete",  "throw",   "co_await", "co_return",
+        "co_yield", "static_assert", "noexcept", "typeid", "assert",
+    };
+    return kKeywords;
+}
+
+std::vector<std::string>
+splitLines(const std::string &content)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream iss(content);
+    while (std::getline(iss, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/**
+ * Blank preprocessor directives (including `\` continuations) in
+ * already-stripped text, preserving newlines, so `#define ERC_HOT_PATH`
+ * in common/hotpath.h never registers as an annotation and macro
+ * bodies never contribute calls.
+ */
+std::string
+blankPreprocessorLines(const std::string &stripped)
+{
+    std::string out = stripped;
+    std::size_t i = 0;
+    const std::size_t n = out.size();
+    while (i < n) {
+        const std::size_t line_start = i;
+        std::size_t line_end = out.find('\n', i);
+        if (line_end == std::string::npos)
+            line_end = n;
+        std::size_t first = line_start;
+        while (first < line_end &&
+               std::isspace(static_cast<unsigned char>(out[first])))
+            ++first;
+        bool directive = first < line_end && out[first] == '#';
+        while (directive) {
+            // Blank this line; if it ends in `\`, the next line is
+            // part of the directive too.
+            std::size_t last = line_end;
+            while (last > line_start &&
+                   std::isspace(static_cast<unsigned char>(out[last - 1])))
+                --last;
+            const bool continued = last > line_start && out[last - 1] == '\\';
+            for (std::size_t j = line_start; j < line_end; ++j)
+                out[j] = ' ';
+            if (!continued || line_end >= n)
+                break;
+            i = line_end + 1;
+            const std::size_t next_start = i;
+            line_end = out.find('\n', i);
+            if (line_end == std::string::npos)
+                line_end = n;
+            // The continuation line is blanked unconditionally.
+            std::size_t cont_last = line_end;
+            while (cont_last > next_start &&
+                   std::isspace(
+                       static_cast<unsigned char>(out[cont_last - 1])))
+                --cont_last;
+            const bool cont_continued =
+                cont_last > next_start && out[cont_last - 1] == '\\';
+            for (std::size_t j = next_start; j < line_end; ++j)
+                out[j] = ' ';
+            if (!cont_continued)
+                break;
+        }
+        i = line_end == n ? n : line_end + 1;
+    }
+    return out;
+}
+
+/** 1-based line number of offset `pos` in `text`. */
+int
+lineOf(const std::string &text, std::size_t pos)
+{
+    return 1 + static_cast<int>(
+                   std::count(text.begin(), text.begin() +
+                       static_cast<std::ptrdiff_t>(std::min(pos, text.size())),
+                       '\n'));
+}
+
+/** Skip a balanced `open`...`close` group starting at `i` (which must
+ *  point at `open`). Returns the index one past the closer, or npos. */
+std::size_t
+skipBalanced(const std::string &text, std::size_t i, char open, char close)
+{
+    int depth = 0;
+    const std::size_t n = text.size();
+    for (; i < n; ++i) {
+        if (text[i] == open)
+            ++depth;
+        else if (text[i] == close && --depth == 0)
+            return i + 1;
+    }
+    return std::string::npos;
+}
+
+std::size_t
+skipWs(const std::string &text, std::size_t i)
+{
+    const std::size_t n = text.size();
+    while (i < n && std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+    return i;
+}
+
+/** Read the identifier ending just before `end` (exclusive), walking
+ *  backwards; returns "" when the preceding token is not an ident. */
+std::string
+identBefore(const std::string &text, std::size_t end)
+{
+    std::size_t j = end;
+    while (j > 0 && std::isspace(static_cast<unsigned char>(text[j - 1])))
+        --j;
+    std::size_t k = j;
+    while (k > 0 && isIdentChar(text[k - 1]))
+        --k;
+    if (k == j)
+        return "";
+    return text.substr(k, j - k);
+}
+
+struct ParsedFile
+{
+    std::string path;
+    std::vector<std::string> rawLines;
+    std::vector<std::string> strippedLines;
+    /** Stripped + preprocessor-blanked whole-file text. */
+    std::string code;
+};
+
+/**
+ * Trailing-token walk after a candidate's parameter list. Returns the
+ * index of the body's `{` when the candidate is a definition, npos
+ * otherwise (declaration, variable, macro invocation, ...).
+ */
+std::size_t
+findBodyBrace(const std::string &text, std::size_t pos)
+{
+    const std::size_t n = text.size();
+    for (;;) {
+        pos = skipWs(text, pos);
+        if (pos >= n)
+            return std::string::npos;
+        const char c = text[pos];
+        if (c == '{')
+            return pos;
+        if (c == ';')
+            return std::string::npos;
+        if (isIdentStart(c)) {
+            // const / noexcept / override / final / mutable / an
+            // attribute-like macro — any ident, optionally followed by
+            // a balanced `(...)` group (e.g. noexcept(...), ERC_...).
+            std::size_t j = pos;
+            while (j < n && isIdentChar(text[j]))
+                ++j;
+            pos = skipWs(text, j);
+            if (pos < n && text[pos] == '(') {
+                pos = skipBalanced(text, pos, '(', ')');
+                if (pos == std::string::npos)
+                    return std::string::npos;
+            }
+            continue;
+        }
+        if (c == '-' && pos + 1 < n && text[pos + 1] == '>') {
+            // Trailing return type: scan to `{` or `;` at paren depth 0.
+            int depth = 0;
+            for (std::size_t j = pos + 2; j < n; ++j) {
+                const char d = text[j];
+                if (d == '(')
+                    ++depth;
+                else if (d == ')')
+                    --depth;
+                else if (depth == 0 && d == '{')
+                    return j;
+                else if (depth == 0 && d == ';')
+                    return std::string::npos;
+            }
+            return std::string::npos;
+        }
+        if (c == ':' && (pos + 1 >= n || text[pos + 1] != ':')) {
+            // Constructor initializer list:
+            //   : member(expr), Base{...}, other(x) {
+            std::size_t j = pos + 1;
+            for (;;) {
+                j = skipWs(text, j);
+                if (j >= n || !isIdentStart(text[j]))
+                    return std::string::npos;
+                while (j < n && isIdentChar(text[j]))
+                    ++j;
+                // Qualified base (Ns::Base) or template args.
+                while (j + 1 < n && text[j] == ':' && text[j + 1] == ':') {
+                    j = skipWs(text, j + 2);
+                    while (j < n && isIdentChar(text[j]))
+                        ++j;
+                }
+                j = skipWs(text, j);
+                if (j < n && text[j] == '<') {
+                    j = skipBalanced(text, j, '<', '>');
+                    if (j == std::string::npos)
+                        return std::string::npos;
+                    j = skipWs(text, j);
+                }
+                if (j >= n || (text[j] != '(' && text[j] != '{'))
+                    return std::string::npos;
+                j = text[j] == '('
+                        ? skipBalanced(text, j, '(', ')')
+                        : skipBalanced(text, j, '{', '}');
+                if (j == std::string::npos)
+                    return std::string::npos;
+                j = skipWs(text, j);
+                if (j < n && text[j] == ',') {
+                    ++j;
+                    continue;
+                }
+                break;
+            }
+            j = skipWs(text, j);
+            if (j < n && text[j] == '{')
+                return j;
+            return std::string::npos;
+        }
+        // `= default`, `= delete`, `= 0`, an initializer, or anything
+        // else: not a function definition.
+        return std::string::npos;
+    }
+}
+
+/** Qualified spelling of the identifier ending at `identEnd`
+ *  (exclusive): walks back over `Ns::Class::` prefixes. */
+std::string
+qualifiedName(const std::string &text, std::size_t identBegin,
+              std::size_t identEnd)
+{
+    std::size_t k = identBegin;
+    for (;;) {
+        std::size_t j = k;
+        while (j > 0 && std::isspace(static_cast<unsigned char>(text[j - 1])))
+            --j;
+        if (j < 2 || text[j - 1] != ':' || text[j - 2] != ':')
+            break;
+        j -= 2;
+        while (j > 0 && std::isspace(static_cast<unsigned char>(text[j - 1])))
+            --j;
+        // Skip template args on the qualifier (Tpl<T>::f).
+        if (j > 0 && text[j - 1] == '>') {
+            int depth = 0;
+            while (j > 0) {
+                --j;
+                if (text[j] == '>')
+                    ++depth;
+                else if (text[j] == '<' && --depth == 0)
+                    break;
+            }
+            while (j > 0 &&
+                   std::isspace(static_cast<unsigned char>(text[j - 1])))
+                --j;
+        }
+        std::size_t m = j;
+        while (m > 0 && isIdentChar(text[m - 1]))
+            --m;
+        if (m == j)
+            break;
+        k = m;
+    }
+    std::string out = text.substr(k, identEnd - k);
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [](char c) {
+                                 return std::isspace(
+                                     static_cast<unsigned char>(c));
+                             }),
+              out.end());
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** One lexical violation rule. */
+struct Rule
+{
+    const char *kind;
+    std::regex pattern;
+};
+
+const std::vector<Rule> &
+rules()
+{
+    static const std::vector<Rule> kRules = [] {
+        std::vector<Rule> r;
+        r.push_back({"heap-alloc",
+                     std::regex(R"(\bnew\b|\bmake_unique\b|\bmake_shared\b|\bmalloc\s*\(|\bcalloc\s*\(|\brealloc\s*\()")});
+        r.push_back({"container-growth",
+                     std::regex(R"((\.|->)\s*(push_back|emplace_back|push_front|emplace_front|resize|reserve|insert|emplace)\s*\()")});
+        r.push_back({"string-alloc",
+                     std::regex(R"(\bto_string\s*\(|\bstd\s*::\s*string\s*[({]|\bostringstream\b|\bstringstream\b)")});
+        r.push_back({"blocking-io",
+                     std::regex(R"(\bstd\s*::\s*(cout|cerr|clog|cin)\b|\b(printf|fprintf|fputs|fwrite|fread|fopen)\s*\(|\bifstream\b|\bofstream\b|\bfstream\b|\bgetline\s*\()")});
+        r.push_back({"throw", std::regex(R"(\bthrow\b)")});
+        r.push_back({"mutex-lock",
+                     std::regex(R"(\block_guard\b|\bunique_lock\b|\bscoped_lock\b|(\.|->)\s*lock\s*\()")});
+        return r;
+    }();
+    return kRules;
+}
+
+/** True for files exempt from the mutex-lock rule (the blessed
+ *  concurrency module: its queues must block). */
+bool
+isRuntimeFile(const std::string &path)
+{
+    return path.find("src/elasticrec/runtime/") != std::string::npos ||
+           path.rfind("elasticrec/runtime/", 0) == 0 ||
+           path.rfind("runtime/", 0) == 0;
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::ostringstream oss;
+                oss << "\\u00" << std::hex << (c < 16 ? "0" : "")
+                    << static_cast<int>(c);
+                out += oss.str();
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<FunctionDef>
+extractFunctions(const std::string &path, const std::string &content)
+{
+    const std::string code =
+        blankPreprocessorLines(lint::stripCommentsAndStrings(content));
+    std::vector<FunctionDef> defs;
+    const std::size_t n = code.size();
+    std::size_t i = 0;
+    while (i < n) {
+        if (!isIdentStart(code[i])) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i;
+        while (j < n && isIdentChar(code[j]))
+            ++j;
+        std::string word = code.substr(i, j - i);
+        std::size_t identBegin = i;
+        std::size_t identEnd = j;
+        std::size_t probe = skipWs(code, j);
+
+        if (word == "operator") {
+            // Consume the operator symbol (or conversion type) up to
+            // the parameter list so the body is skipped as a unit.
+            std::size_t k = probe;
+            if (k + 1 < n && code[k] == '(' && code[k + 1] == ')')
+                k = skipWs(code, k + 2); // operator()
+            else
+                while (k < n && code[k] != '(' && code[k] != ';' &&
+                       code[k] != '{')
+                    ++k;
+            if (k >= n || code[k] != '(') {
+                i = j;
+                continue;
+            }
+            word = "operator";
+            identEnd = j;
+            probe = k;
+        } else if (probe >= n || code[probe] != '(' ||
+                   keywordSet().count(word) != 0) {
+            i = j;
+            continue;
+        }
+
+        const std::size_t after_params =
+            skipBalanced(code, probe, '(', ')');
+        if (after_params == std::string::npos) {
+            i = j;
+            continue;
+        }
+        const std::size_t brace = findBodyBrace(code, after_params);
+        if (brace == std::string::npos) {
+            i = j;
+            continue;
+        }
+        const std::size_t after_body = skipBalanced(code, brace, '{', '}');
+        if (after_body == std::string::npos) {
+            i = j;
+            continue;
+        }
+        FunctionDef def;
+        def.name = word;
+        def.display = word == "operator"
+                          ? "operator"
+                          : qualifiedName(code, identBegin, identEnd);
+        def.file = path;
+        def.line = lineOf(code, identBegin);
+        def.bodyBeginLine = lineOf(code, brace);
+        def.bodyEndLine = lineOf(code, after_body - 1);
+        defs.push_back(std::move(def));
+        i = after_body;
+    }
+    return defs;
+}
+
+Analysis
+analyze(const FileSet &files)
+{
+    Analysis analysis;
+    analysis.fileCount = files.size();
+
+    // ---- Per-file parse: strip, blank preprocessor, extract. ----
+    std::vector<ParsedFile> parsed;
+    struct Node
+    {
+        FunctionDef def;
+        std::size_t fileIndex = 0;
+        std::vector<std::size_t> callees; // node indices
+        /** Lines inside the body suppressed by a line-level ALLOW. */
+        std::set<int> allowLines;
+    };
+    std::vector<Node> nodes;
+    std::map<std::string, std::vector<std::size_t>> byName;
+
+    static const std::regex kAllow(
+        R"(ERC_HOT_PATH_ALLOW\(\s*\")");
+    static const std::regex kRoot(R"(\bERC_HOT_PATH\b)");
+
+    std::set<std::string> rootNames;
+
+    for (const auto &[path, content] : files) {
+        ParsedFile pf;
+        pf.path = path;
+        pf.rawLines = splitLines(content);
+        pf.code = blankPreprocessorLines(
+            lint::stripCommentsAndStrings(content));
+        pf.strippedLines = splitLines(pf.code);
+
+        // Function extraction (re-runs the pipeline; cheap enough).
+        const std::size_t first_node = nodes.size();
+        for (auto &def : extractFunctions(path, content)) {
+            Node node;
+            node.def = def;
+            node.fileIndex = parsed.size();
+            byName[def.name].push_back(nodes.size());
+            nodes.push_back(std::move(node));
+        }
+
+        // ALLOW markers come from the RAW lines, so trailing-comment
+        // placement works (comments are blanked in the stripped text).
+        std::vector<int> allow_lines;
+        for (std::size_t li = 0; li < pf.rawLines.size(); ++li)
+            if (std::regex_search(pf.rawLines[li], kAllow))
+                allow_lines.push_back(static_cast<int>(li) + 1);
+
+        for (const int al : allow_lines) {
+            bool inside = false;
+            for (std::size_t ni = first_node; ni < nodes.size(); ++ni) {
+                Node &node = nodes[ni];
+                if (al >= node.def.bodyBeginLine &&
+                    al <= node.def.bodyEndLine) {
+                    node.allowLines.insert(al);
+                    node.allowLines.insert(al + 1);
+                    inside = true;
+                    break;
+                }
+            }
+            if (inside)
+                continue;
+            // Function-level ALLOW: exempt the next definition.
+            for (std::size_t ni = first_node; ni < nodes.size(); ++ni) {
+                if (nodes[ni].def.bodyBeginLine > al) {
+                    nodes[ni].def.exempt = true;
+                    break;
+                }
+            }
+        }
+
+        // Hot roots: ERC_HOT_PATH annotates the next declarator — the
+        // identifier directly before the following `(`.
+        for (std::size_t li = 0; li < pf.strippedLines.size(); ++li) {
+            if (!std::regex_search(pf.strippedLines[li], kRoot))
+                continue;
+            // Scan forward (same or later lines) for the next `(`.
+            std::smatch m;
+            std::regex_search(pf.strippedLines[li], m, kRoot);
+            std::size_t col =
+                static_cast<std::size_t>(m.position(0) + m.length(0));
+            for (std::size_t lj = li; lj < pf.strippedLines.size(); ++lj) {
+                const std::string &line = pf.strippedLines[lj];
+                const std::size_t start = lj == li ? col : 0;
+                const std::size_t paren = line.find('(', start);
+                if (paren == std::string::npos)
+                    continue;
+                const std::string name = identBefore(line, paren);
+                if (!name.empty() && keywordSet().count(name) == 0)
+                    rootNames.insert(name);
+                break;
+            }
+        }
+
+        parsed.push_back(std::move(pf));
+    }
+    analysis.functionCount = nodes.size();
+    analysis.rootCount = rootNames.size();
+
+    // ---- Call graph: callee base names matched against defs. ----
+    static const std::regex kCall(R"(([A-Za-z_][A-Za-z0-9_]*)\s*\()");
+    for (auto &node : nodes) {
+        const ParsedFile &pf = parsed[node.fileIndex];
+        std::set<std::size_t> callees;
+        for (int li = node.def.bodyBeginLine;
+             li <= node.def.bodyEndLine &&
+             li <= static_cast<int>(pf.strippedLines.size());
+             ++li) {
+            const std::string &line =
+                pf.strippedLines[static_cast<std::size_t>(li - 1)];
+            for (auto it = std::sregex_iterator(line.begin(), line.end(),
+                                                kCall);
+                 it != std::sregex_iterator(); ++it) {
+                const std::string callee = (*it)[1].str();
+                if (keywordSet().count(callee) != 0)
+                    continue;
+                const auto found = byName.find(callee);
+                if (found == byName.end())
+                    continue;
+                for (const std::size_t target : found->second)
+                    callees.insert(target);
+            }
+        }
+        node.callees.assign(callees.begin(), callees.end());
+    }
+
+    // ---- Multi-source BFS with parent pointers for call paths. ----
+    std::vector<std::size_t> parent(nodes.size(),
+                                    std::numeric_limits<std::size_t>::max());
+    std::vector<std::size_t> rootOf(nodes.size(),
+                                    std::numeric_limits<std::size_t>::max());
+    std::vector<bool> visited(nodes.size(), false);
+    std::queue<std::size_t> frontier;
+    for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+        if (rootNames.count(nodes[ni].def.name) == 0)
+            continue;
+        if (nodes[ni].def.exempt)
+            continue;
+        visited[ni] = true;
+        rootOf[ni] = ni;
+        frontier.push(ni);
+    }
+    while (!frontier.empty()) {
+        const std::size_t ni = frontier.front();
+        frontier.pop();
+        for (const std::size_t callee : nodes[ni].callees) {
+            if (visited[callee] || nodes[callee].def.exempt)
+                continue;
+            visited[callee] = true;
+            parent[callee] = ni;
+            rootOf[callee] = rootOf[ni];
+            frontier.push(callee);
+        }
+    }
+    analysis.reachableCount = static_cast<std::size_t>(
+        std::count(visited.begin(), visited.end(), true));
+
+    // ---- Scan every reachable body for violations. ----
+    for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+        if (!visited[ni])
+            continue;
+        const Node &node = nodes[ni];
+        const ParsedFile &pf = parsed[node.fileIndex];
+        const bool runtime_file = isRuntimeFile(pf.path);
+
+        std::vector<std::string> chain;
+        for (std::size_t cur = ni;
+             cur != std::numeric_limits<std::size_t>::max();
+             cur = parent[cur])
+            chain.push_back(nodes[cur].def.display);
+        std::reverse(chain.begin(), chain.end());
+        const std::string root_name =
+            nodes[rootOf[ni]].def.display;
+
+        for (int li = node.def.bodyBeginLine;
+             li <= node.def.bodyEndLine &&
+             li <= static_cast<int>(pf.strippedLines.size());
+             ++li) {
+            if (node.allowLines.count(li) != 0)
+                continue;
+            const std::string &line =
+                pf.strippedLines[static_cast<std::size_t>(li - 1)];
+            for (const Rule &rule : rules()) {
+                if (runtime_file &&
+                    std::string(rule.kind) == "mutex-lock")
+                    continue;
+                if (!std::regex_search(line, rule.pattern))
+                    continue;
+                Violation v;
+                v.kind = rule.kind;
+                v.file = pf.path;
+                v.line = li;
+                v.function = node.def.display;
+                v.root = root_name;
+                v.path = chain;
+                const std::size_t raw_index =
+                    static_cast<std::size_t>(li - 1);
+                v.message = raw_index < pf.rawLines.size()
+                                ? trim(pf.rawLines[raw_index])
+                                : trim(line);
+                analysis.violations.push_back(std::move(v));
+            }
+        }
+    }
+
+    std::sort(analysis.violations.begin(), analysis.violations.end(),
+              [](const Violation &a, const Violation &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.kind < b.kind;
+              });
+    return analysis;
+}
+
+std::string
+renderText(const Analysis &analysis)
+{
+    std::ostringstream oss;
+    for (const Violation &v : analysis.violations) {
+        oss << v.file << ":" << v.line << ": [" << v.kind << "] "
+            << v.message << "\n";
+        oss << "    in " << v.function << ", reached via ";
+        for (std::size_t i = 0; i < v.path.size(); ++i)
+            oss << (i == 0 ? "" : " -> ") << v.path[i];
+        oss << "\n";
+    }
+    oss << "erec_hotpath: " << analysis.fileCount << " files, "
+        << analysis.functionCount << " functions, " << analysis.rootCount
+        << " hot roots, " << analysis.reachableCount << " reachable, "
+        << analysis.violations.size() << " violation"
+        << (analysis.violations.size() == 1 ? "" : "s") << ": "
+        << (analysis.pass() ? "PASS" : "FAIL") << "\n";
+    return oss.str();
+}
+
+std::string
+renderJson(const Analysis &analysis)
+{
+    std::ostringstream oss;
+    oss << "{\n";
+    oss << "  \"schema\": \"erec_hotpath/v1\",\n";
+    oss << "  \"files\": " << analysis.fileCount << ",\n";
+    oss << "  \"functions\": " << analysis.functionCount << ",\n";
+    oss << "  \"roots\": " << analysis.rootCount << ",\n";
+    oss << "  \"reachable\": " << analysis.reachableCount << ",\n";
+    oss << "  \"pass\": " << (analysis.pass() ? "true" : "false") << ",\n";
+    oss << "  \"violations\": [";
+    for (std::size_t i = 0; i < analysis.violations.size(); ++i) {
+        const Violation &v = analysis.violations[i];
+        oss << (i == 0 ? "\n" : ",\n");
+        oss << "    {\n";
+        oss << "      \"kind\": \"" << jsonEscape(v.kind) << "\",\n";
+        oss << "      \"file\": \"" << jsonEscape(v.file) << "\",\n";
+        oss << "      \"line\": " << v.line << ",\n";
+        oss << "      \"function\": \"" << jsonEscape(v.function)
+            << "\",\n";
+        oss << "      \"root\": \"" << jsonEscape(v.root) << "\",\n";
+        oss << "      \"path\": [";
+        for (std::size_t j = 0; j < v.path.size(); ++j)
+            oss << (j == 0 ? "" : ", ") << "\"" << jsonEscape(v.path[j])
+                << "\"";
+        oss << "],\n";
+        oss << "      \"message\": \"" << jsonEscape(v.message) << "\"\n";
+        oss << "    }";
+    }
+    oss << (analysis.violations.empty() ? "]\n" : "\n  ]\n");
+    oss << "}\n";
+    return oss.str();
+}
+
+} // namespace erec::hotpath

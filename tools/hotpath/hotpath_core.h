@@ -1,0 +1,133 @@
+#pragma once
+
+/**
+ * @file
+ * Engine of the hot-path discipline gate (`erec_hotpath`): a
+ * dependency-free static pass that keeps the steady-state serving path
+ * free of per-query heap churn, blocking I/O and surprise locking
+ * (DESIGN.md §10).
+ *
+ * Functions annotated with ERC_HOT_PATH (common/hotpath.h) are the hot
+ * roots. The engine tokenizes the first-party tree with the linter's
+ * comment/string stripper, extracts every function definition plus an
+ * intra-repo call graph (callee base names matched against extracted
+ * definitions), and scans every function transitively reachable from a
+ * root for:
+ *
+ *  - heap-alloc: `new`, make_unique/make_shared, malloc/calloc/realloc.
+ *  - container-growth: push_back / emplace_back / push_front /
+ *    emplace_front / resize / reserve / insert / emplace member calls
+ *    (assign() is deliberately exempt — it reuses capacity).
+ *  - string-alloc: std::to_string, std::string construction,
+ *    ostringstream / stringstream.
+ *  - blocking-io: std::cout/cerr/clog/cin, printf-family and C file
+ *    APIs, ifstream/ofstream/fstream, getline.
+ *  - throw: any `throw` expression (hot paths report via status, not
+ *    exceptions; ERC_CHECK sits behind an unexpanded macro and is the
+ *    blessed precondition mechanism).
+ *  - mutex-lock: lock_guard / unique_lock / scoped_lock construction
+ *    or a non-try .lock() call. Files under src/elasticrec/runtime/
+ *    are exempt from this rule only — the blessed queues must lock,
+ *    and their waits are annotated with AllocGate regions instead.
+ *
+ * Intentional, amortised allocations are waived in place with
+ * ERC_HOT_PATH_ALLOW("reason"): on (or on the line directly above) a
+ * statement inside a body it suppresses that line; outside any body it
+ * exempts the next function definition entirely and stops traversal
+ * into it. Markers are collected from the RAW text, so a trailing
+ * `// ERC_HOT_PATH_ALLOW("...")` comment works.
+ *
+ * The pass is deliberately lexical: macros are not expanded (so
+ * ERC_CHECK creates no edges), callees resolve by base name (so one
+ * annotated `serve` makes every `serve` definition a root — an
+ * over-approximation that errs toward scanning more), and bodies the
+ * extractor cannot parse (e.g. operator() definitions) are skipped as
+ * units. The complementary *dynamic* check, common/alloc_tracker.h,
+ * counts real allocations inside AllocGate regions at run time; the
+ * two together gate `allocs_per_query` to exactly zero in CI.
+ *
+ * The engine works on an in-memory FileSet (repo-relative path ->
+ * content) so tests can drive it without touching the filesystem; the
+ * CLI (hotpath_main.cc) walks the real tree. Exit codes follow the
+ * benchdiff convention: 0 = clean, 1 = violations, 2 = usage error.
+ */
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace erec::hotpath {
+
+/** Repo-relative path -> file content. */
+using FileSet = std::map<std::string, std::string>;
+
+/** One hot-path violation at a source location. */
+struct Violation
+{
+    /** "heap-alloc", "container-growth", "string-alloc",
+     *  "blocking-io", "throw" or "mutex-lock". */
+    std::string kind;
+    std::string file;
+    int line = 0;
+    /** Base name of the containing function. */
+    std::string function;
+    /** The ERC_HOT_PATH root this function is reachable from. */
+    std::string root;
+    /** Concrete call chain, root first, containing function last. */
+    std::vector<std::string> path;
+    /** The offending source line (raw text, trimmed). */
+    std::string message;
+};
+
+/** One extracted function definition (exposed for tests). */
+struct FunctionDef
+{
+    /** Base name (after the last `::`). */
+    std::string name;
+    /** Name as written, e.g. "DenseShardServer::serve". */
+    std::string display;
+    std::string file;
+    /** 1-based line of the function's identifier. */
+    int line = 0;
+    /** 1-based inclusive line span of the `{...}` body. */
+    int bodyBeginLine = 0;
+    int bodyEndLine = 0;
+    /** True when a function-level ERC_HOT_PATH_ALLOW exempts it. */
+    bool exempt = false;
+};
+
+/** Full analysis result. */
+struct Analysis
+{
+    std::size_t fileCount = 0;
+    std::size_t functionCount = 0;
+    /** Distinct ERC_HOT_PATH-annotated root names. */
+    std::size_t rootCount = 0;
+    /** Function definitions reachable from any root. */
+    std::size_t reachableCount = 0;
+    std::vector<Violation> violations;
+
+    bool pass() const { return violations.empty(); }
+};
+
+/**
+ * Extract every function definition from one file's content (exposed
+ * so tests can pin the extractor's grammar: trailing const/noexcept/
+ * attribute macros, trailing return types, ctor init lists, bodies
+ * skipped as units so nested lambdas attribute to their enclosing
+ * function).
+ */
+std::vector<FunctionDef> extractFunctions(const std::string &path,
+                                          const std::string &content);
+
+/** Run the full pass over a file set. */
+Analysis analyze(const FileSet &files);
+
+/** "file:line: [kind] message" lines plus a PASS/FAIL summary. */
+std::string renderText(const Analysis &analysis);
+
+/** Deterministic JSON document (schema erec_hotpath/v1). */
+std::string renderJson(const Analysis &analysis);
+
+} // namespace erec::hotpath

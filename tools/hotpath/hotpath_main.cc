@@ -1,0 +1,113 @@
+/**
+ * @file
+ * CLI of the hot-path discipline gate:
+ *
+ *     erec_hotpath --root src [--root <dir>...] [--format text|json]
+ *
+ * Walks the given roots (relative to the current directory, which
+ * should be the repo root so paths in reports are repo-relative),
+ * extracts ERC_HOT_PATH roots plus the intra-repo call graph, and
+ * flags allocation / blocking-I/O / throw / lock patterns in every
+ * transitively reachable function (tools/hotpath/hotpath_core.h).
+ * Exit codes follow the benchdiff convention: 0 = clean,
+ * 1 = violations, 2 = usage error. CI runs `--format json` and
+ * uploads the document as an artifact.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/hotpath/hotpath_core.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        std::cerr << "erec_hotpath: cannot read " << path << "\n";
+        std::exit(2);
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+bool
+isCxxFile(const fs::path &path)
+{
+    const auto ext = path.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".h" || ext == ".hpp";
+}
+
+void
+usage()
+{
+    std::cerr << "usage: erec_hotpath --root <dir> [--root <dir>...]"
+                 " [--format text|json]\n";
+    std::exit(2);
+}
+
+/** Repo-relative spelling of a scanned path ("./src/x" -> "src/x"). */
+std::string
+repoRelative(const fs::path &path)
+{
+    std::string out = path.generic_string();
+    while (out.rfind("./", 0) == 0)
+        out = out.substr(2);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> roots;
+    std::string format = "text";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            roots.push_back(argv[++i]);
+        } else if (arg == "--format" && i + 1 < argc) {
+            format = argv[++i];
+        } else {
+            usage();
+        }
+    }
+    if (roots.empty() || (format != "text" && format != "json"))
+        usage();
+
+    erec::hotpath::FileSet files;
+    for (const auto &root : roots) {
+        if (fs::is_regular_file(root)) {
+            files[repoRelative(root)] = readFile(root);
+            continue;
+        }
+        if (!fs::is_directory(root)) {
+            std::cerr << "erec_hotpath: no such file or directory: "
+                      << root << "\n";
+            return 2;
+        }
+        for (const auto &entry : fs::recursive_directory_iterator(root)) {
+            if (entry.is_regular_file() && isCxxFile(entry.path()))
+                files[repoRelative(entry.path())] = readFile(entry.path());
+        }
+    }
+
+    const auto analysis = erec::hotpath::analyze(files);
+    if (format == "json") {
+        std::cout << erec::hotpath::renderJson(analysis);
+    } else {
+        (analysis.pass() ? std::cout : std::cerr)
+            << erec::hotpath::renderText(analysis);
+    }
+    return analysis.pass() ? 0 : 1;
+}

@@ -307,6 +307,83 @@ checkUnannotatedMutex(const std::string &path,
     }
 }
 
+/**
+ * hot-path-annotation: hygiene for the ERC_HOT_PATH markers that feed
+ * tools/hotpath (common/hotpath.h). A bare ERC_HOT_PATH must annotate
+ * a function declaration — an identifier plus parameter list must
+ * follow before any `;`, `=` or `}` — because the hotpath analyzer
+ * derives its roots from the declarator after the token; an annotation
+ * on a variable or a dangling one silently creates no root. An
+ * ERC_HOT_PATH_ALLOW must carry a non-empty string reason: the waiver
+ * *is* the documentation of why the allocation is acceptable. The bare
+ * check reads stripped lines (prose mentions in comments don't trip
+ * it); the ALLOW check reads raw lines, because the hotpath analyzer
+ * itself honours trailing-comment placement. common/hotpath.h (the
+ * macro definitions) is exempt.
+ */
+void
+checkHotPathAnnotation(const std::string &path,
+                       const std::vector<std::string> &raw_lines,
+                       const std::vector<std::string> &stripped_lines,
+                       const Suppressions &sup,
+                       std::vector<Diagnostic> *diags)
+{
+    static const std::regex kBare(R"(\bERC_HOT_PATH\b)");
+    static const std::regex kAllow(R"(\bERC_HOT_PATH_ALLOW\b)");
+    static const std::regex kAllowReason(
+        R"(\bERC_HOT_PATH_ALLOW\(\s*"[^"]+")");
+    for (std::size_t i = 0; i < stripped_lines.size(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(stripped_lines[i], m, kBare))
+            continue;
+        const int line_no = static_cast<int>(i + 1);
+        if (sup.allows(line_no, "hot-path-annotation"))
+            continue;
+        // Bounded lookahead over the stripped text after the token.
+        std::string tail = stripped_lines[i].substr(
+            static_cast<std::size_t>(m.position(0) + m.length(0)));
+        for (std::size_t j = i + 1;
+             j < stripped_lines.size() && j < i + 6; ++j) {
+            tail += "\n";
+            tail += stripped_lines[j];
+        }
+        bool ok = false;
+        const std::size_t paren = tail.find('(');
+        const std::size_t stop = tail.find_first_of(";=}");
+        if (paren != std::string::npos &&
+            (stop == std::string::npos || paren < stop)) {
+            std::size_t k = paren;
+            while (k > 0 && std::isspace(static_cast<unsigned char>(
+                                tail[k - 1])))
+                --k;
+            ok = k > 0 && (std::isalnum(static_cast<unsigned char>(
+                               tail[k - 1])) ||
+                           tail[k - 1] == '_');
+        }
+        if (!ok) {
+            diags->push_back(
+                {path, line_no, "hot-path-annotation",
+                 "ERC_HOT_PATH must annotate a function declaration "
+                 "(identifier + parameter list must follow); on "
+                 "anything else the hotpath analyzer derives no root"});
+        }
+    }
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+        if (!std::regex_search(raw_lines[i], kAllow))
+            continue;
+        const int line_no = static_cast<int>(i + 1);
+        if (sup.allows(line_no, "hot-path-annotation"))
+            continue;
+        if (std::regex_search(raw_lines[i], kAllowReason))
+            continue;
+        diags->push_back(
+            {path, line_no, "hot-path-annotation",
+             "ERC_HOT_PATH_ALLOW requires a non-empty string reason "
+             "explaining why this allocation is acceptable on the hot "
+             "path"});
+    }
+}
+
 /** First non-blank line of stripped content, with its line number. */
 std::pair<std::string, int>
 firstCodeLine(const std::vector<std::string> &stripped_lines)
@@ -481,6 +558,15 @@ lintContent(const std::string &path, const std::string &content)
 
     if (cls == FileClass::LibraryHeader)
         checkExcessDefaultParams(path, stripped, sup, &diags);
+
+    // Same exemption mechanism as the rule table's exemptSuffixes:
+    // common/hotpath.h is where the macros themselves are defined.
+    if ((cls == FileClass::LibrarySource ||
+         cls == FileClass::LibraryHeader) &&
+        !endsWith(path, "common/hotpath.h")) {
+        checkHotPathAnnotation(path, raw_lines, stripped_lines, sup,
+                               &diags);
+    }
 
     // Same exemption mechanism as the rule table's exemptDirs:
     // runtime/ is the blessed home of pool/queue internals.

@@ -30,6 +30,12 @@
  *    (common/thread_annotations.h), so clang's -Wthread-safety pass
  *    can actually check the locking discipline; runtime/ pool
  *    internals are exempt (the blessed concurrency module).
+ *  - hot-path-annotation: ERC_HOT_PATH (common/hotpath.h) is only
+ *    valid directly before a function declaration — the tools/hotpath
+ *    analyzer derives its roots from the declarator after the token —
+ *    and ERC_HOT_PATH_ALLOW must carry a non-empty string reason
+ *    (the waiver is the documentation). common/hotpath.h itself is
+ *    exempt.
  *  - excess-default-params: no parameter list in a library header may
  *    declare more than two defaulted parameters — long trails of
  *    positional defaults are unreadable at call sites; fold them into
