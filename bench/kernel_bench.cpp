@@ -1,18 +1,58 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the library's hot kernels: the
- * embedding gather+pool, the MLP forward pass, query bucketization,
- * Zipf/locality sampling and the DP partitioner itself. These measure
- * *this host's* real performance (they are the analogue of the paper's
- * one-time profiling pass, Figure 9), independent of the calibrated
- * cluster model used by the figure benches.
+ * Microbenchmarks of the library's hot kernels. Two modes:
+ *
+ * Default (google-benchmark): the embedding gather+pool, the MLP
+ * forward pass, query bucketization, Zipf/locality sampling and the DP
+ * partitioner. These measure *this host's* real performance (they are
+ * the analogue of the paper's one-time profiling pass, Figure 9),
+ * independent of the calibrated cluster model used by the figure
+ * benches. All google-benchmark flags pass through.
+ *
+ * `--json PATH`: the kernel-backend sweep feeding the CI perf gate.
+ * Runs the gather-sum-pool at d in {32, 64, 128, 256} and the blocked
+ * GEMM on every backend the host supports (scalar always; avx2/avx512
+ * when usable) and writes benchdiff-schema JSON: one sweep entry per
+ * (backend, kernel, dim) point, keyed by a stable numeric "point" id
+ * (backend_index * 10 + {0..3 gather by dim, 4 gemm}), with "qps"
+ * holding GB/s (gather) or GFLOP/s (GEMM) and "allocs_per_call" the
+ * heap allocations inside the gather AllocGate region. The gate only
+ * checks the scalar points (0-4) against bench/baselines/
+ * BENCH_kernels.json, so baselines hold across hosts with different
+ * ISAs:
+ *
+ *     kernel_bench --json BENCH_kernels.json --quick
+ *     erec_benchdiff bench/baselines/BENCH_kernels.json \
+ *         BENCH_kernels.json --key point --tolerance 40% \
+ *         --metric-tolerance allocs_per_call=0
+ *
+ * JSON-mode flags:
+ *   --quick           fewer reps per point for CI (default full run)
+ *   --throttle-us N   sleep N us between reps — deliberately depresses
+ *                     the measured rate so CI can demonstrate the
+ *                     benchdiff regression gate firing
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "elasticrec/common/alloc_tracker.h"
+#include "elasticrec/common/error.h"
+#include "elasticrec/common/table_printer.h"
 #include "elasticrec/core/bucketizer.h"
 #include "elasticrec/core/dp_partitioner.h"
 #include "elasticrec/embedding/embedding_table.h"
+#include "elasticrec/kernels/registry.h"
 #include "elasticrec/model/mlp.h"
 #include "elasticrec/workload/access_distribution.h"
 #include "elasticrec/workload/query_generator.h"
@@ -34,8 +74,9 @@ BM_GatherPool(benchmark::State &state)
             std::uint64_t{1u << 20}));
     std::vector<std::uint32_t> offsets = {0};
     std::vector<float> out(dim);
+    const kernels::GatherRequest req(indices, offsets);
     for (auto _ : state) {
-        table.gatherPool(indices, offsets, out.data());
+        table.gatherPool(req, out.data());
         benchmark::DoNotOptimize(out.data());
     }
     state.SetItemsProcessed(
@@ -143,4 +184,281 @@ BENCHMARK(BM_DpPartitioner)->Arg(128)->Arg(512)->Arg(1024)
 
 } // namespace
 
-BENCHMARK_MAIN();
+// ---------------------------------------------------------------------
+// `--json` mode: the per-backend kernel sweep behind the CI perf gate.
+// ---------------------------------------------------------------------
+
+namespace erec::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct JsonOptions
+{
+    std::string out;
+    std::uint64_t throttleUs = 0;
+    bool quick = false;
+};
+
+/** One (backend, kernel, dim) measurement. */
+struct KernelResult
+{
+    /** Stable benchdiff sweep key: backend_index * 10 + variant. */
+    std::size_t point = 0;
+    std::string backend;
+    std::string kernel;
+    std::uint32_t dim = 0;
+    /** GB/s for gather, GFLOP/s for GEMM ("qps" in the JSON). */
+    double rate = 0.0;
+    double allocsPerCall = 0.0;
+};
+
+JsonOptions
+parseJsonArgs(int argc, char **argv)
+{
+    JsonOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            opts.out = argv[++i];
+        } else if (arg == "--quick") {
+            opts.quick = true;
+        } else if (arg == "--throttle-us" && i + 1 < argc) {
+            opts.throttleUs = std::stoull(argv[++i]);
+        } else {
+            erec::fatal("unknown kernel_bench --json flag: " + arg);
+        }
+    }
+    ERC_CHECK(!opts.out.empty(), "--json needs an output path");
+    return opts;
+}
+
+/** Allocation count inside all tracked regions since the last reset. */
+std::uint64_t
+regionAllocs()
+{
+    std::uint64_t total = 0;
+    for (const auto &stats : allocRegionStats())
+        total += stats.allocs;
+    return total;
+}
+
+/**
+ * Time `reps` calls of `fn` (throttle sleeps excluded from nothing —
+ * the throttle deliberately depresses the rate) and return
+ * {units_per_call * reps / elapsed_s, region allocs per call}.
+ */
+template <typename Fn>
+std::pair<double, double>
+timedLoop(std::size_t reps, std::uint64_t throttle_us, double units,
+          Fn &&fn)
+{
+    resetAllocRegionStats();
+    const auto t0 = Clock::now();
+    for (std::size_t r = 0; r < reps; ++r) {
+        if (throttle_us > 0)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(throttle_us));
+        fn();
+    }
+    const double elapsed_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    const double rate =
+        units * static_cast<double>(reps) / elapsed_s / 1e9;
+    const double allocs = static_cast<double>(regionAllocs()) /
+                          static_cast<double>(reps);
+    return {rate, allocs};
+}
+
+/**
+ * Gather-sum-pool rate for one backend at one embedding dim: a
+ * cache-resident table (4096 rows, <= 4 MiB at d=256 — the kernel
+ * sweep measures compute, not DRAM), batch 32, pooling factor 64.
+ */
+KernelResult
+runGatherPoint(const kernels::KernelBackend &backend,
+               std::size_t backend_index, std::size_t variant,
+               std::uint32_t dim, const JsonOptions &opts)
+{
+    constexpr std::uint64_t kRows = 4096;
+    constexpr std::size_t kBatch = 32;
+    constexpr std::size_t kPooling = 64;
+    embedding::EmbeddingTable table(kRows, dim);
+
+    Rng rng(7);
+    std::vector<std::uint32_t> indices(kBatch * kPooling);
+    for (auto &i : indices)
+        i = static_cast<std::uint32_t>(rng.uniformInt(kRows));
+    std::vector<std::uint32_t> offsets(kBatch);
+    for (std::size_t b = 0; b < kBatch; ++b)
+        offsets[b] = static_cast<std::uint32_t>(b * kPooling);
+    const kernels::GatherRequest req(indices, offsets);
+    std::vector<float> out(kBatch * dim);
+
+    for (int w = 0; w < 8; ++w)
+        table.gatherPool(req, out.data(), backend);
+
+    const std::size_t reps = opts.quick ? 200 : 1000;
+    const double bytes_per_call =
+        static_cast<double>(indices.size()) * dim * sizeof(float);
+    const auto [rate, allocs] =
+        timedLoop(reps, opts.throttleUs, bytes_per_call, [&] {
+            table.gatherPool(req, out.data(), backend);
+            benchmark::DoNotOptimize(out.data());
+        });
+
+    KernelResult r;
+    r.point = backend_index * 10 + variant;
+    r.backend = backend.name();
+    r.kernel = "gather";
+    r.dim = dim;
+    r.rate = rate;
+    r.allocsPerCall = allocs;
+    return r;
+}
+
+/** Blocked-GEMM rate for one backend through the MLP forward pass
+ *  (batch 32, one 256 -> 128 layer). */
+KernelResult
+runGemmPoint(const kernels::KernelBackend &backend,
+             std::size_t backend_index, const JsonOptions &opts)
+{
+    constexpr std::size_t kBatch = 32, kIn = 256, kOut = 128;
+    model::Mlp mlp(model::MlpSpec{{kIn, kOut}}, /*seed=*/3);
+    std::vector<float> in(kBatch * kIn);
+    Rng rng(9);
+    for (auto &v : in)
+        v = static_cast<float>(rng.uniform()) - 0.5f;
+    std::vector<float> out(kBatch * kOut);
+
+    for (int w = 0; w < 8; ++w)
+        mlp.forward(in.data(), kBatch, out.data(), backend);
+
+    const std::size_t reps = opts.quick ? 200 : 2000;
+    const double flops_per_call =
+        2.0 * static_cast<double>(kBatch) * kIn * kOut;
+    const auto [rate, allocs] =
+        timedLoop(reps, opts.throttleUs, flops_per_call, [&] {
+            mlp.forward(in.data(), kBatch, out.data(), backend);
+            benchmark::DoNotOptimize(out.data());
+        });
+
+    KernelResult r;
+    r.point = backend_index * 10 + 4;
+    r.backend = backend.name();
+    r.kernel = "gemm";
+    r.dim = 0;
+    r.rate = rate;
+    r.allocsPerCall = allocs;
+    return r;
+}
+
+std::string
+jsonNum(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return buf;
+}
+
+/** Deterministic-format JSON for tools/benchdiff, keyed by "point". */
+void
+writeJson(const JsonOptions &opts,
+          const std::vector<KernelResult> &sweep)
+{
+    std::ofstream out(opts.out);
+    ERC_CHECK(out.good(),
+              "cannot open bench output file " << opts.out);
+    out << "{\n";
+    out << "  \"bench\": \"kernel_bench\",\n";
+    out << "  \"quick\": " << (opts.quick ? "true" : "false") << ",\n";
+    out << "  \"throttle_us\": " << opts.throttleUs << ",\n";
+    out << "  \"sweep\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const auto &r = sweep[i];
+        out << "    {\"point\": " << r.point << ", \"backend\": \""
+            << r.backend << "\", \"kernel\": \"" << r.kernel
+            << "\", \"dim\": " << r.dim
+            << ", \"qps\": " << jsonNum(r.rate)
+            << ", \"allocs_per_call\": " << jsonNum(r.allocsPerCall)
+            << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+    ERC_CHECK(out.good(),
+              "failed writing bench output " << opts.out);
+}
+
+int
+runJson(int argc, char **argv)
+{
+    quietLogs();
+    const JsonOptions opts = parseJsonArgs(argc, argv);
+    banner("Kernel-backend sweep (gather-sum-pool + blocked GEMM)",
+           "DESIGN.md section 11 (no paper figure; CI perf gate input)");
+    const auto &backends = kernels::availableBackends();
+    std::cout << "backends:";
+    for (const auto *b : backends)
+        std::cout << " " << b->name();
+    if (opts.throttleUs > 0)
+        std::cout << "  [THROTTLED " << opts.throttleUs << " us/rep]";
+    std::cout << "\n\n";
+
+    const std::uint32_t dims[] = {32, 64, 128, 256};
+    std::vector<KernelResult> sweep;
+    for (std::size_t bi = 0; bi < backends.size(); ++bi) {
+        for (std::size_t di = 0; di < 4; ++di)
+            sweep.push_back(runGatherPoint(*backends[bi], bi, di,
+                                           dims[di], opts));
+        sweep.push_back(runGemmPoint(*backends[bi], bi, opts));
+    }
+
+    TablePrinter table(
+        {"backend", "kernel", "dim", "rate", "allocs/call"});
+    for (const auto &r : sweep)
+        table.addRow(
+            {r.backend, r.kernel,
+             r.dim > 0 ? TablePrinter::num(
+                             static_cast<std::int64_t>(r.dim))
+                       : std::string("-"),
+             TablePrinter::num(r.rate, 2) +
+                 (r.kernel == "gemm" ? " GFLOP/s" : " GB/s"),
+             TablePrinter::num(r.allocsPerCall, 3)});
+    table.print(std::cout);
+
+    // Headline number for the PR acceptance bar: widest backend vs
+    // scalar on the d=128 gather.
+    double scalar128 = 0.0, best128 = 0.0;
+    for (const auto &r : sweep) {
+        if (r.kernel != "gather" || r.dim != 128)
+            continue;
+        if (r.backend == "scalar")
+            scalar128 = r.rate;
+        best128 = std::max(best128, r.rate);
+    }
+    if (scalar128 > 0.0)
+        std::cout << "gather-pool d=128 speedup (best backend vs "
+                     "scalar): "
+                  << TablePrinter::ratio(best128 / scalar128) << "\n";
+
+    writeJson(opts, sweep);
+    std::cout << "\nwrote " << opts.out << "\n";
+    return 0;
+}
+
+} // namespace
+} // namespace erec::bench
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--json")
+            return erec::bench::runJson(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

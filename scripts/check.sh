@@ -9,6 +9,7 @@
 #   scripts/check.sh hotpath # ERC_HOT_PATH static allocation/blocking gate
 #   scripts/check.sh smoke   # run example + fig bench, validate telemetry
 #   scripts/check.sh bench   # serving throughput sweep + benchdiff gate
+#   scripts/check.sh kernels # kernel-backend sweep + benchdiff gate
 #   scripts/check.sh all     # every stage above, in order
 #
 # Each stage uses its own build tree (build-check-<stage>) so stages
@@ -120,6 +121,55 @@ stage_bench() {
         --metric-tolerance allocs_per_query=0
 }
 
+# Kernel-backend perf gate: run the per-backend gather-pool / GEMM
+# sweep (quick mode) and compare the scalar points against the
+# checked-in conservative baseline with erec_benchdiff, keyed on the
+# "point" id and gating allocs_per_call at exactly zero. Then
+# self-test the gate with a throttled run: a gate that cannot fail is
+# not a gate. Set ELASTICREC_KERNELS_OUT to keep BENCH_kernels.json
+# (CI uploads it as an artifact); by default a temp dir is used and
+# removed.
+stage_kernels() {
+    local tree="$repo_root/build-check-release"
+    cmake -B "$tree" -S "$repo_root" "${cmake_launcher_args[@]}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DELASTICREC_WERROR=ON
+    cmake --build "$tree" -j "$jobs" \
+        --target kernel_bench erec_benchdiff
+    local out
+    if [ -n "${ELASTICREC_KERNELS_OUT:-}" ]; then
+        out="$ELASTICREC_KERNELS_OUT"
+        mkdir -p "$out"
+    else
+        out="$(mktemp -d)"
+        trap 'rm -rf "$out"' RETURN
+    fi
+    local benchdiff="$tree/tools/benchdiff/erec_benchdiff"
+    "$tree/bench/kernel_bench" --json "$out/BENCH_kernels.json" --quick
+    "$benchdiff" \
+        "$repo_root/bench/baselines/BENCH_kernels.json" \
+        "$out/BENCH_kernels.json" --key point --tolerance 40% \
+        --metric-tolerance allocs_per_call=0
+
+    # Throttled self-test: 500 us of sleep per rep dominates the
+    # small-dim gather points (whose real work is tens of us), pinning
+    # at least point 0 far below its baseline floor, so the gate must
+    # exit 1 — proof the gate can actually fail.
+    "$tree/bench/kernel_bench" --json "$out/BENCH_kernels_throttled.json" \
+        --quick --throttle-us 500
+    local rc=0
+    "$benchdiff" \
+        "$repo_root/bench/baselines/BENCH_kernels.json" \
+        "$out/BENCH_kernels_throttled.json" --key point \
+        --tolerance 40% --metric-tolerance allocs_per_call=0 \
+        > "$out/benchdiff-throttled.txt" 2>&1 || rc=$?
+    if [ "$rc" -ne 1 ]; then
+        echo "kernels self-test: expected exit 1 on throttled run," \
+            "got $rc" >&2
+        cat "$out/benchdiff-throttled.txt" >&2
+        exit 1
+    fi
+}
+
 # Hot-path discipline gate: erec_hotpath extracts the ERC_HOT_PATH
 # roots and the intra-repo call graph and flags heap allocation,
 # blocking I/O, throw and non-try locking in every transitively
@@ -222,6 +272,7 @@ case "$stage" in
   hotpath) stage_hotpath ;;
   smoke) stage_smoke ;;
   bench) stage_bench ;;
+  kernels) stage_kernels ;;
   all)
     stage_build
     stage_asan
@@ -231,9 +282,10 @@ case "$stage" in
     stage_hotpath
     stage_smoke
     stage_bench
+    stage_kernels
     ;;
   *)
-    echo "usage: check.sh [build|asan|tsan|lint|arch|hotpath|smoke|bench|all]" >&2
+    echo "usage: check.sh [build|asan|tsan|lint|arch|hotpath|smoke|bench|kernels|all]" >&2
     exit 2
     ;;
 esac

@@ -106,26 +106,38 @@ EmbeddingTable::addRowTo(std::uint64_t row, float *acc) const
         acc[d] += hashToFloat(mix(base + d));
 }
 
-std::size_t
-EmbeddingTable::gatherPool(const std::vector<std::uint32_t> &indices,
-                           const std::vector<std::uint32_t> &offsets,
-                           float *out) const
+kernels::TableSlice
+EmbeddingTable::wholeSlice() const
 {
-    ERC_CHECK(!offsets.empty(), "gatherPool needs at least one batch item");
+    ERC_CHECK(storage_ == Storage::Materialized,
+              "virtual tables have no materialized rows to view");
+    kernels::TableSlice slice;
+    slice.rows = data_.data();
+    slice.dim = dim_;
+    slice.rankCount = numRows_;
+    slice.storageRows = numRows_;
+    return slice;
+}
+
+std::size_t
+EmbeddingTable::gatherPool(const kernels::GatherRequest &req, float *out,
+                           const kernels::KernelBackend &backend) const
+{
+    ERC_CHECK(req.batch > 0, "gatherPool needs at least one batch item");
     const AllocGate gate(gatherRegion());
-    const std::size_t batch = offsets.size();
-    for (std::size_t b = 0; b < batch; ++b) {
-        const std::size_t begin = offsets[b];
-        const std::size_t end =
-            (b + 1 < batch) ? offsets[b + 1] : indices.size();
-        ERC_CHECK(begin <= end && end <= indices.size(),
-                  "offset array is not monotone within the index array");
+    if (storage_ == Storage::Materialized)
+        return backend.gatherSumPool(wholeSlice(), req, out);
+    // Virtual rows are synthesized from the hash — there are no
+    // materialized bytes for a backend to vectorize over, so pooling
+    // accumulates scalar-side in the same lane order as readRow().
+    for (std::size_t b = 0; b < req.batch; ++b) {
+        const auto [begin, end] = kernels::detail::bagBounds(req, b);
         float *acc = out + b * dim_;
         std::memset(acc, 0, dim_ * sizeof(float));
         for (std::size_t i = begin; i < end; ++i)
-            addRowTo(indices[i], acc);
+            addRowTo(req.indices[i], acc);
     }
-    return indices.size();
+    return req.numIndices;
 }
 
 } // namespace erec::embedding

@@ -19,6 +19,8 @@
 
 #include "elasticrec/common/hotpath.h"
 #include "elasticrec/common/units.h"
+#include "elasticrec/kernels/kernel_backend.h"
+#include "elasticrec/kernels/registry.h"
 
 namespace erec::embedding {
 
@@ -71,19 +73,28 @@ class EmbeddingTable
     void addRowTo(std::uint64_t row, float *acc) const;
 
     /**
-     * Gather-and-sum-pool kernel (the paper's embedding layer
-     * operation). For each batch item i, sums the rows addressed by
-     * indices[offsets[i] .. offsets[i+1]) into out[i*dim .. (i+1)*dim).
+     * Gather-and-sum-pool (the paper's embedding layer operation). For
+     * each batch item b of the request view, sums the addressed rows
+     * into out[b*dim .. (b+1)*dim). Materialized tables execute on the
+     * given kernel backend (default: the process-wide dispatched one);
+     * virtual tables synthesize rows scalar-side either way.
      *
-     * @param indices Row IDs to gather.
-     * @param offsets Per-batch-item start positions within `indices`.
-     * @param out Output buffer of size offsets.size() * dim().
+     * @param req Index/offset view (kernels::GatherRequest has a
+     *            vector-pair constructor for callers holding vectors).
+     * @param out Output buffer of size req.batch * dim().
      * @return Number of rows gathered.
      */
     ERC_HOT_PATH
-    std::size_t gatherPool(const std::vector<std::uint32_t> &indices,
-                           const std::vector<std::uint32_t> &offsets,
-                           float *out) const;
+    std::size_t gatherPool(const kernels::GatherRequest &req, float *out,
+                           const kernels::KernelBackend &backend =
+                               kernels::defaultBackend()) const;
+
+    /**
+     * Kernel-layer view of the whole materialized table (ranks = row
+     * IDs, no remap). Raises ConfigError on a virtual table, which has
+     * no materialized bytes to view.
+     */
+    kernels::TableSlice wholeSlice() const;
 
     /**
      * Bytes of memory traffic one gatherPool over `num_gathers` rows

@@ -78,27 +78,36 @@ ShardedTable::originalId(std::uint64_t rank) const
     return sortPerm_[rank];
 }
 
+kernels::TableSlice
+ShardedTable::shardSlice(std::uint32_t s) const
+{
+    const ShardRange range = shardRange(s);
+    kernels::TableSlice slice = table_->wholeSlice();
+    slice.rankBase = range.begin;
+    slice.rankCount = range.rows();
+    slice.remap = sortPerm_.empty() ? nullptr : sortPerm_.data();
+    return slice;
+}
+
 std::size_t
-ShardedTable::gatherPool(std::uint32_t s,
-                         const std::vector<std::uint32_t> &local_indices,
-                         const std::vector<std::uint32_t> &offsets,
-                         float *out) const
+ShardedTable::gatherPool(std::uint32_t s, const kernels::GatherRequest &req,
+                         float *out,
+                         const kernels::KernelBackend &backend) const
 {
     const ShardRange range = shardRange(s);
     const std::uint32_t dim = table_->dim();
-    ERC_CHECK(!offsets.empty(), "gatherPool needs at least one batch item");
+    ERC_CHECK(req.batch > 0, "gatherPool needs at least one batch item");
     const AllocGate gate(shardGatherRegion());
-    const std::size_t batch = offsets.size();
-    for (std::size_t b = 0; b < batch; ++b) {
-        const std::size_t begin = offsets[b];
-        const std::size_t end =
-            (b + 1 < batch) ? offsets[b + 1] : local_indices.size();
-        ERC_CHECK(begin <= end && end <= local_indices.size(),
-                  "offset array is not monotone within the index array");
+    if (table_->storage() == Storage::Materialized)
+        return backend.gatherSumPool(shardSlice(s), req, out);
+    // Virtual tables synthesize rows from the hash; rank resolution and
+    // pooling stay scalar-side (see EmbeddingTable::gatherPool).
+    for (std::size_t b = 0; b < req.batch; ++b) {
+        const auto [begin, end] = kernels::detail::bagBounds(req, b);
         float *acc = out + b * dim;
         std::memset(acc, 0, dim * sizeof(float));
         for (std::size_t i = begin; i < end; ++i) {
-            const std::uint64_t rank = range.begin + local_indices[i];
+            const std::uint64_t rank = range.begin + req.indices[i];
             ERC_CHECK(rank < range.end,
                       "local gather index escapes the shard");
             // Accumulate in place: same values, same lane order as the
@@ -106,7 +115,7 @@ ShardedTable::gatherPool(std::uint32_t s,
             table_->addRowTo(originalId(rank), acc);
         }
     }
-    return local_indices.size();
+    return req.numIndices;
 }
 
 } // namespace erec::embedding

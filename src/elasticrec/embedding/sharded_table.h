@@ -73,14 +73,19 @@ class ShardedTable
 
     /**
      * Execute a gather+pool on shard s with *shard-local* IDs (the
-     * output of the bucketizer). Output layout matches
-     * EmbeddingTable::gatherPool.
+     * output of the bucketizer) carried in the request view. Output
+     * layout matches EmbeddingTable::gatherPool. Materialized tables
+     * run on the given kernel backend over a shard-bounded TableSlice
+     * (rankBase = shard begin, remap = hotness permutation).
      */
     ERC_HOT_PATH
     std::size_t gatherPool(std::uint32_t s,
-                           const std::vector<std::uint32_t> &local_indices,
-                           const std::vector<std::uint32_t> &offsets,
-                           float *out) const;
+                           const kernels::GatherRequest &req, float *out,
+                           const kernels::KernelBackend &backend =
+                               kernels::defaultBackend()) const;
+
+    /** Kernel-layer view of shard s (materialized tables only). */
+    kernels::TableSlice shardSlice(std::uint32_t s) const;
 
     const std::vector<std::uint64_t> &boundaries() const
     {

@@ -1,0 +1,28 @@
+#pragma once
+
+/**
+ * @file
+ * Internal seam between the registry and the per-ISA translation
+ * units. Each backend lives in its own .cc compiled with exactly the
+ * ISA flags it needs (see kernels/CMakeLists.txt); this header stays
+ * intrinsics-free so it is safe to include from baseline-ISA code.
+ * The ERC_KERNELS_HAVE_* macros are defined by the build system when
+ * the corresponding TU is compiled in; registry.cc still gates each
+ * backend behind a runtime CPUID check before registering it.
+ */
+
+#include "elasticrec/kernels/kernel_backend.h"
+
+namespace erec::kernels::detail {
+
+const KernelBackend &scalarBackendImpl();
+
+#ifdef ERC_KERNELS_HAVE_AVX2
+const KernelBackend &avx2BackendImpl();
+#endif
+
+#ifdef ERC_KERNELS_HAVE_AVX512
+const KernelBackend &avx512BackendImpl();
+#endif
+
+} // namespace erec::kernels::detail

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The scalar reference backend. This translation unit is compiled with
+ * auto-vectorization disabled (see kernels/CMakeLists.txt) so it stays
+ * a genuinely scalar baseline: the bit-identity contract and the bench
+ * gate's speedup numbers are both measured against these loops.
+ */
+
+#include <cstring>
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/kernels/backend_impl.h"
+
+namespace erec::kernels {
+namespace {
+
+class ScalarBackend final : public KernelBackend
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "scalar";
+    }
+
+    std::size_t
+    gatherSumPool(const TableSlice &table, const GatherRequest &req,
+                  float *out) const override
+    {
+        ERC_CHECK(req.batch > 0, "gather needs at least one batch item");
+        const std::uint32_t dim = table.dim;
+        for (std::size_t b = 0; b < req.batch; ++b) {
+            const auto [begin, end] = detail::bagBounds(req, b);
+            float *acc = out + b * static_cast<std::size_t>(dim);
+            std::memset(acc, 0, dim * sizeof(float));
+            for (std::size_t i = begin; i < end; ++i) {
+                const float *src =
+                    table.rows + detail::resolveRow(table, req.indices[i]) *
+                                     dim;
+                for (std::uint32_t d = 0; d < dim; ++d)
+                    acc[d] += src[d];
+            }
+        }
+        return req.numIndices;
+    }
+
+    void
+    gemmBiasAct(const float *a, const float *w, const float *bias,
+                std::size_t m, std::size_t k, std::size_t n, bool relu,
+                float *c) const override
+    {
+        for (std::size_t mi = 0; mi < m; ++mi) {
+            const float *x = a + mi * k;
+            float *y = c + mi * n;
+            std::memset(y, 0, n * sizeof(float));
+            for (std::size_t i = 0; i < k; ++i) {
+                const float xi = x[i];
+                const float *wrow = w + i * n;
+                for (std::size_t o = 0; o < n; ++o)
+                    y[o] += xi * wrow[o];
+            }
+            for (std::size_t o = 0; o < n; ++o) {
+                const float v = y[o] + bias[o];
+                y[o] = relu ? (v > 0.0f ? v : 0.0f) : v;
+            }
+        }
+    }
+};
+
+} // namespace
+
+namespace detail {
+
+const KernelBackend &
+scalarBackendImpl()
+{
+    static const ScalarBackend backend;
+    return backend;
+}
+
+} // namespace detail
+} // namespace erec::kernels

@@ -1,0 +1,122 @@
+#include "elasticrec/kernels/registry.h"
+
+#include <cstdlib>
+
+#include "elasticrec/common/error.h"
+#include "elasticrec/common/logging.h"
+#include "elasticrec/kernels/backend_impl.h"
+
+namespace erec::kernels {
+namespace {
+
+/** Every name the registry understands, whether or not this host can
+ *  run it — the boundary between "fall back" and "reject". */
+constexpr const char *kKnownBackends[] = {"scalar", "avx2", "avx512"};
+
+bool
+isKnownName(const std::string &name)
+{
+    for (const char *known : kKnownBackends)
+        if (name == known)
+            return true;
+    return false;
+}
+
+std::vector<const KernelBackend *>
+buildRegistry()
+{
+    std::vector<const KernelBackend *> backends;
+    backends.push_back(&detail::scalarBackendImpl());
+#ifdef ERC_KERNELS_HAVE_AVX2
+    if (__builtin_cpu_supports("avx2"))
+        backends.push_back(&detail::avx2BackendImpl());
+#endif
+#ifdef ERC_KERNELS_HAVE_AVX512
+    if (__builtin_cpu_supports("avx512f"))
+        backends.push_back(&detail::avx512BackendImpl());
+#endif
+    return backends;
+}
+
+} // namespace
+
+const KernelBackend &
+scalarBackend()
+{
+    return detail::scalarBackendImpl();
+}
+
+const std::vector<const KernelBackend *> &
+availableBackends()
+{
+    static const std::vector<const KernelBackend *> registry =
+        buildRegistry();
+    return registry;
+}
+
+const KernelBackend &
+bestBackend()
+{
+    return *availableBackends().back();
+}
+
+const KernelBackend *
+findBackend(const std::string &name)
+{
+    for (const KernelBackend *backend : availableBackends())
+        if (name == backend->name())
+            return backend;
+    return nullptr;
+}
+
+const KernelBackend &
+resolveBackend(const std::string &name)
+{
+    std::vector<std::string> usable;
+    usable.reserve(availableBackends().size());
+    for (const KernelBackend *backend : availableBackends())
+        usable.emplace_back(backend->name());
+    const std::string chosen =
+        detail::resolveName(name, std::getenv("ERC_KERNEL_BACKEND"), usable);
+    const KernelBackend *backend = findBackend(chosen);
+    ERC_ASSERT(backend != nullptr,
+               "resolved kernel backend '" << chosen << "' not registered");
+    return *backend;
+}
+
+const KernelBackend &
+defaultBackend()
+{
+    static const KernelBackend &backend = resolveBackend();
+    return backend;
+}
+
+namespace detail {
+
+std::string
+resolveName(const std::string &requested, const char *env,
+            const std::vector<std::string> &usable)
+{
+    ERC_CHECK(!usable.empty(), "kernel backend registry is empty");
+    std::string name = requested;
+    if (name.empty() && env != nullptr)
+        name = env;
+    if (name.empty())
+        return usable.back(); // Widest ISA this host supports.
+    for (const std::string &candidate : usable)
+        if (name == candidate)
+            return name;
+    // Known backend, missing ISA: degrade instead of failing the stack
+    // (a fleet-wide `avx512` pin must not crash AVX2-only stragglers).
+    if (isKnownName(name)) {
+        ERC_LOG_WARN << "kernel backend '" << name
+                     << "' is not supported on this host; falling back to '"
+                     << usable.back() << "'";
+        return usable.back();
+    }
+    erec::fatal("unknown kernel backend '" + name +
+                "' (known: scalar, avx2, avx512)");
+}
+
+} // namespace detail
+} // namespace erec::kernels

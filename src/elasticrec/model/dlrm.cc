@@ -33,19 +33,21 @@ Dlrm::table(std::uint32_t t) const
 }
 
 std::vector<float>
-Dlrm::runBottom(const std::vector<float> &dense_in, std::size_t batch) const
+Dlrm::runBottom(const std::vector<float> &dense_in, std::size_t batch,
+                const kernels::KernelBackend &backend) const
 {
     ERC_CHECK(dense_in.size() == batch * config_.bottomMlp.inputDim(),
               "dense input size mismatch");
     std::vector<float> out(batch * config_.bottomMlp.outputDim());
-    bottomMlp_.forward(dense_in.data(), batch, out.data());
+    bottomMlp_.forward(dense_in.data(), batch, out.data(), backend);
     return out;
 }
 
 std::vector<float>
 Dlrm::interactAndPredict(const std::vector<float> &bottom_out,
                          const std::vector<std::vector<float>> &pooled,
-                         std::size_t batch) const
+                         std::size_t batch,
+                         const kernels::KernelBackend &backend) const
 {
     const std::uint32_t dim = config_.embeddingDim;
     const std::uint32_t f = config_.numTables + 1;
@@ -84,7 +86,7 @@ Dlrm::interactAndPredict(const std::vector<float> &bottom_out,
     }
 
     std::vector<float> logits(batch * config_.topMlp.outputDim());
-    topMlp_.forward(top_input.data(), batch, logits.data());
+    topMlp_.forward(top_input.data(), batch, logits.data(), backend);
 
     std::vector<float> probs(batch);
     for (std::size_t b = 0; b < batch; ++b) {
@@ -97,24 +99,25 @@ Dlrm::interactAndPredict(const std::vector<float> &bottom_out,
 std::vector<float>
 Dlrm::forward(const std::vector<float> &dense_in,
               const std::vector<workload::SparseLookup> &lookups,
-              std::size_t batch) const
+              std::size_t batch,
+              const kernels::KernelBackend &backend) const
 {
     ERC_CHECK(lookups.size() == config_.numTables,
               "need one lookup set per table");
     const std::uint32_t dim = config_.embeddingDim;
 
-    auto bottom = runBottom(dense_in, batch);
+    auto bottom = runBottom(dense_in, batch, backend);
 
     std::vector<std::vector<float>> pooled(config_.numTables);
     for (std::uint32_t t = 0; t < config_.numTables; ++t) {
         ERC_CHECK(lookups[t].batchSize() == batch,
                   "lookup batch size mismatch for table " << t);
         pooled[t].assign(batch * dim, 0.0f);
-        tables_[t]->gatherPool(lookups[t].indices, lookups[t].offsets,
-                               pooled[t].data());
+        tables_[t]->gatherPool(lookups[t].view(), pooled[t].data(),
+                               backend);
     }
 
-    return interactAndPredict(bottom, pooled, batch);
+    return interactAndPredict(bottom, pooled, batch, backend);
 }
 
 std::vector<float>

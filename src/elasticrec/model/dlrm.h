@@ -42,7 +42,8 @@ class Dlrm
     table(std::uint32_t t) const;
 
     /**
-     * Full forward pass.
+     * Full forward pass. Gathers and GEMMs execute on the given kernel
+     * backend (default: the process-wide dispatched one).
      *
      * @param dense_in Batch x bottomMlp.inputDim dense features.
      * @param lookups One SparseLookup per table, each with batch items
@@ -53,7 +54,9 @@ class Dlrm
     std::vector<float>
     forward(const std::vector<float> &dense_in,
             const std::vector<workload::SparseLookup> &lookups,
-            std::size_t batch) const;
+            std::size_t batch,
+            const kernels::KernelBackend &backend =
+                kernels::defaultBackend()) const;
 
     /**
      * The dense-shard tail computation: takes the bottom-MLP output and
@@ -64,11 +67,15 @@ class Dlrm
     std::vector<float>
     interactAndPredict(const std::vector<float> &bottom_out,
                        const std::vector<std::vector<float>> &pooled,
-                       std::size_t batch) const;
+                       std::size_t batch,
+                       const kernels::KernelBackend &backend =
+                           kernels::defaultBackend()) const;
 
     /** Run only the bottom MLP (dense shard head computation). */
-    std::vector<float> runBottom(const std::vector<float> &dense_in,
-                                 std::size_t batch) const;
+    std::vector<float>
+    runBottom(const std::vector<float> &dense_in, std::size_t batch,
+              const kernels::KernelBackend &backend =
+                  kernels::defaultBackend()) const;
 
     /** Generate a deterministic synthetic dense input for a query id. */
     std::vector<float> syntheticDenseInput(std::uint64_t query_id,

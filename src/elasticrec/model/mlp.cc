@@ -63,7 +63,8 @@ Mlp::Mlp(MlpSpec spec, std::uint64_t seed) : spec_(std::move(spec))
 }
 
 void
-Mlp::forward(const float *in, std::size_t batch, float *out) const
+Mlp::forward(const float *in, std::size_t batch, float *out,
+             const kernels::KernelBackend &backend) const
 {
     const auto &widths = spec_.widths;
     // Per-thread activation scratch, reused across calls: assign()
@@ -78,38 +79,12 @@ Mlp::forward(const float *in, std::size_t batch, float *out) const
         const std::size_t fan_out = widths[l + 1];
         const bool last = (l + 1 == spec_.numLayers());
         next.assign(batch * fan_out, 0.0f);
-        const float *w = weights_[l].data();
-        for (std::size_t b = 0; b < batch; ++b) {
-            const float *x = &cur[b * fan_in];
-            float *y = &next[b * fan_out];
-            for (std::size_t i = 0; i < fan_in; ++i) {
-                const float xi = x[i];
-                if (xi == 0.0f)
-                    continue;
-                const float *wrow = &w[i * fan_out];
-                for (std::size_t o = 0; o < fan_out; ++o)
-                    y[o] += xi * wrow[o];
-            }
-            for (std::size_t o = 0; o < fan_out; ++o) {
-                y[o] += biases_[l][o];
-                if (!last)
-                    y[o] = std::max(y[o], 0.0f);
-            }
-        }
+        backend.gemmBiasAct(cur.data(), weights_[l].data(),
+                            biases_[l].data(), batch, fan_in, fan_out,
+                            /*relu=*/!last, next.data());
         cur.swap(next);
     }
     std::copy(cur.begin(), cur.end(), out);
-}
-
-std::vector<float>
-Mlp::forward(const std::vector<float> &in) const
-{
-    ERC_CHECK(in.size() == spec_.inputDim(),
-              "input size " << in.size() << " != input dim "
-                            << spec_.inputDim());
-    std::vector<float> out(spec_.outputDim());
-    forward(in.data(), 1, out.data());
-    return out;
 }
 
 } // namespace erec::model

@@ -7,9 +7,10 @@
  * MlpSpec captures the layer widths the paper's Table I/II list (e.g.
  * bottom MLP "256-128-32" = widths {256, 128, 32}: a 256-wide input
  * followed by two weight layers). Mlp materializes real float weights
- * and runs an actual forward pass (naive GEMM + ReLU), used by unit
- * tests, the examples and kernel-level calibration; the analytic FLOP /
- * byte accounting drives the hardware latency model.
+ * and runs an actual forward pass (GEMM + ReLU on a pluggable kernel
+ * backend), used by unit tests, the examples and kernel-level
+ * calibration; the analytic FLOP / byte accounting drives the hardware
+ * latency model.
  */
 
 #include <cstdint>
@@ -18,6 +19,8 @@
 
 #include "elasticrec/common/hotpath.h"
 #include "elasticrec/common/units.h"
+#include "elasticrec/kernels/kernel_backend.h"
+#include "elasticrec/kernels/registry.h"
 
 namespace erec::model {
 
@@ -50,15 +53,16 @@ class Mlp
     const MlpSpec &spec() const { return spec_; }
 
     /**
-     * Forward one batch. `in` is batch x inputDim, `out` is batch x
-     * outputDim. Uses per-thread activation scratch: allocation-free
-     * once a thread's buffers reached the steady working-set size.
+     * Forward one batch on the given kernel backend (default: the
+     * process-wide dispatched one). `in` is batch x inputDim, `out` is
+     * batch x outputDim. Uses per-thread activation scratch:
+     * allocation-free once a thread's buffers reached the steady
+     * working-set size.
      */
     ERC_HOT_PATH
-    void forward(const float *in, std::size_t batch, float *out) const;
-
-    /** Convenience vector-based forward for a single sample. */
-    std::vector<float> forward(const std::vector<float> &in) const;
+    void forward(const float *in, std::size_t batch, float *out,
+                 const kernels::KernelBackend &backend =
+                     kernels::defaultBackend()) const;
 
   private:
     MlpSpec spec_;

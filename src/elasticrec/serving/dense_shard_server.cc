@@ -1,6 +1,7 @@
 #include "elasticrec/serving/dense_shard_server.h"
 
 #include "elasticrec/common/error.h"
+#include "elasticrec/kernels/registry.h"
 
 namespace erec::serving {
 
@@ -42,9 +43,11 @@ thread_local ServeScratch t_scratch;
 DenseShardServer::DenseShardServer(
     std::shared_ptr<const model::Dlrm> dlrm,
     std::vector<core::Bucketizer> bucketizers,
-    std::vector<std::vector<std::shared_ptr<SparseShardServer>>> shards)
+    std::vector<std::vector<std::shared_ptr<SparseShardServer>>> shards,
+    const kernels::KernelBackend *backend)
     : dlrm_(std::move(dlrm)), bucketizers_(std::move(bucketizers)),
-      shards_(std::move(shards))
+      shards_(std::move(shards)),
+      backend_(backend != nullptr ? backend : &kernels::defaultBackend())
 {
     ERC_CHECK(dlrm_ != nullptr, "null model");
     const auto tables = dlrm_->config().numTables;
@@ -105,7 +108,7 @@ DenseShardServer::serve(const std::vector<float> &dense_in,
         s.parts.resize(s.jobs.size()); // ERC_HOT_PATH_ALLOW("refit to job count; no-op for a warm thread")
         executor_->parallelFor(s.jobs.size() + 1, [&](std::size_t i) {
             if (i == 0) {
-                bottom = dlrm_->runBottom(dense_in, batch);
+                bottom = dlrm_->runBottom(dense_in, batch, *backend_);
                 return;
             }
             const GatherJob &job = s.jobs[i - 1];
@@ -119,14 +122,15 @@ DenseShardServer::serve(const std::vector<float> &dense_in,
             for (std::size_t i = 0; i < dst.size(); ++i)
                 dst[i] += s.parts[j][i];
         }
-        return dlrm_->interactAndPredict(bottom, s.pooled, batch);
+        return dlrm_->interactAndPredict(bottom, s.pooled, batch,
+                                         *backend_);
     }
 
     // Serial path (no executor, or a serial one): same computation in
     // the same order as the pre-executor code.
     // (1) Bottom MLP runs concurrently with the gather RPCs in the real
     // system; functionally it is just computed first here.
-    bottom = dlrm_->runBottom(dense_in, batch);
+    bottom = dlrm_->runBottom(dense_in, batch, *backend_);
 
     // (2)+(3) Bucketize, gather from every shard, and merge. Sum
     // pooling distributes over the shard partition, so the per-table
@@ -145,7 +149,7 @@ DenseShardServer::serve(const std::vector<float> &dense_in,
     }
 
     // (4) Feature interaction + top MLP + sigmoid.
-    return dlrm_->interactAndPredict(bottom, s.pooled, batch);
+    return dlrm_->interactAndPredict(bottom, s.pooled, batch, *backend_);
 }
 
 std::vector<float>

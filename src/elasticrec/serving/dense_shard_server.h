@@ -38,12 +38,16 @@ class DenseShardServer
      * @param bucketizers One per table, built from that table's
      *        partitioning points and inverse hotness permutation.
      * @param shards shards[t][s] serves table t's shard s.
+     * @param backend Kernel backend the MLP GEMMs execute on; null
+     *        selects the process-wide dispatched default. (Each sparse
+     *        shard carries its own backend handle for gathers.)
      */
     DenseShardServer(
         std::shared_ptr<const model::Dlrm> dlrm,
         std::vector<core::Bucketizer> bucketizers,
         std::vector<std::vector<std::shared_ptr<SparseShardServer>>>
-            shards);
+            shards,
+        const kernels::KernelBackend *backend = nullptr);
 
     /**
      * Serve one query end to end.
@@ -87,6 +91,7 @@ class DenseShardServer
     std::shared_ptr<const model::Dlrm> dlrm_;
     std::vector<core::Bucketizer> bucketizers_;
     std::vector<std::vector<std::shared_ptr<SparseShardServer>>> shards_;
+    const kernels::KernelBackend *backend_;
     std::shared_ptr<runtime::Executor> executor_;
     mutable std::atomic<std::uint64_t> served_{0};
 };

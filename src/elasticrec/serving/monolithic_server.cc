@@ -1,11 +1,14 @@
 #include "elasticrec/serving/monolithic_server.h"
 
 #include "elasticrec/common/error.h"
+#include "elasticrec/kernels/registry.h"
 
 namespace erec::serving {
 
-MonolithicServer::MonolithicServer(std::shared_ptr<const model::Dlrm> dlrm)
-    : dlrm_(std::move(dlrm))
+MonolithicServer::MonolithicServer(std::shared_ptr<const model::Dlrm> dlrm,
+                                   const kernels::KernelBackend *backend)
+    : dlrm_(std::move(dlrm)),
+      backend_(backend != nullptr ? backend : &kernels::defaultBackend())
 {
     ERC_CHECK(dlrm_ != nullptr, "null model");
 }
@@ -16,7 +19,7 @@ MonolithicServer::serve(const std::vector<float> &dense_in,
                         std::size_t batch) const
 {
     served_.fetch_add(1, std::memory_order_relaxed);
-    return dlrm_->forward(dense_in, lookups, batch);
+    return dlrm_->forward(dense_in, lookups, batch, *backend_);
 }
 
 std::vector<float>

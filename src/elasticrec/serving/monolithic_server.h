@@ -21,7 +21,14 @@ namespace erec::serving {
 class MonolithicServer
 {
   public:
-    explicit MonolithicServer(std::shared_ptr<const model::Dlrm> dlrm);
+    /**
+     * @param dlrm The model to serve whole.
+     * @param backend Kernel backend gathers and GEMMs execute on; null
+     *        selects the process-wide dispatched default.
+     */
+    explicit MonolithicServer(std::shared_ptr<const model::Dlrm> dlrm,
+                              const kernels::KernelBackend *backend =
+                                  nullptr);
 
     /**
      * Serve one query (original-ID lookups) end to end. Thread-safe:
@@ -52,6 +59,7 @@ class MonolithicServer
 
   private:
     std::shared_ptr<const model::Dlrm> dlrm_;
+    const kernels::KernelBackend *backend_;
     mutable std::atomic<std::uint64_t> served_{0};
 };
 

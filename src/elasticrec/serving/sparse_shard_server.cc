@@ -1,13 +1,15 @@
 #include "elasticrec/serving/sparse_shard_server.h"
 
 #include "elasticrec/common/error.h"
+#include "elasticrec/kernels/registry.h"
 
 namespace erec::serving {
 
 SparseShardServer::SparseShardServer(
     std::shared_ptr<const embedding::ShardedTable> table,
-    std::uint32_t shard_id)
-    : table_(std::move(table)), shardId_(shard_id)
+    std::uint32_t shard_id, const kernels::KernelBackend *backend)
+    : table_(std::move(table)), shardId_(shard_id),
+      backend_(backend != nullptr ? backend : &kernels::defaultBackend())
 {
     ERC_CHECK(table_ != nullptr, "null sharded table");
     ERC_CHECK(shard_id < table_->numShards(),
@@ -44,8 +46,8 @@ SparseShardServer::gatherInto(const workload::SparseLookup &local_lookup,
     // zeroed buffer per batch item, exactly as the by-value path did.
     pooled->assign(batch * table_->table().dim(), 0.0f);
     rowsGathered_.fetch_add(
-        table_->gatherPool(shardId_, local_lookup.indices,
-                           local_lookup.offsets, pooled->data()),
+        table_->gatherPool(shardId_, local_lookup.view(), pooled->data(),
+                           *backend_),
         std::memory_order_relaxed);
 }
 

@@ -27,9 +27,12 @@ class SparseShardServer
     /**
      * @param table The partitioned table this shard belongs to.
      * @param shard_id Which shard of the table this server owns.
+     * @param backend Kernel backend gathers execute on; null selects
+     *        the process-wide dispatched default.
      */
     SparseShardServer(std::shared_ptr<const embedding::ShardedTable> table,
-                      std::uint32_t shard_id);
+                      std::uint32_t shard_id,
+                      const kernels::KernelBackend *backend = nullptr);
 
     std::uint32_t shardId() const { return shardId_; }
     embedding::ShardRange range() const;
@@ -64,6 +67,7 @@ class SparseShardServer
   private:
     std::shared_ptr<const embedding::ShardedTable> table_;
     std::uint32_t shardId_;
+    const kernels::KernelBackend *backend_;
     mutable std::atomic<std::uint64_t> rowsGathered_{0};
 };
 

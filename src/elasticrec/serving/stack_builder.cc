@@ -2,6 +2,7 @@
 
 #include "elasticrec/common/error.h"
 #include "elasticrec/embedding/frequency_tracker.h"
+#include "elasticrec/kernels/registry.h"
 
 namespace erec::serving {
 
@@ -64,6 +65,10 @@ buildElasticRecStack(std::shared_ptr<const model::Dlrm> dlrm,
 
     ElasticRecStack stack;
     stack.observability = options.observability;
+    // One backend handle serves the whole stack: every sparse shard's
+    // gathers and the frontend's GEMMs resolve here, once, so a
+    // misconfigured name fails at build time rather than mid-query.
+    stack.kernelBackend = &kernels::resolveBackend(options.kernelBackend);
     std::vector<core::Bucketizer> bucketizers;
     for (std::uint32_t t = 0; t < tables; ++t) {
         const TablePlan &plan = plan_for(t);
@@ -79,8 +84,8 @@ buildElasticRecStack(std::shared_ptr<const model::Dlrm> dlrm,
 
         std::vector<std::shared_ptr<SparseShardServer>> servers;
         for (std::uint32_t s = 0; s < sharded->numShards(); ++s) {
-            auto server =
-                std::make_shared<SparseShardServer>(sharded, s);
+            auto server = std::make_shared<SparseShardServer>(
+                sharded, s, stack.kernelBackend);
             if (options.observability != nullptr) {
                 options.observability
                     ->gauge("erec_shard_rows",
@@ -98,7 +103,7 @@ buildElasticRecStack(std::shared_ptr<const model::Dlrm> dlrm,
         stack.shards.push_back(std::move(servers));
     }
     stack.frontend = std::make_shared<DenseShardServer>(
-        dlrm, std::move(bucketizers), stack.shards);
+        dlrm, std::move(bucketizers), stack.shards, stack.kernelBackend);
     if (options.executor != nullptr) {
         stack.executor = options.executor;
         stack.frontend->attachExecutor(stack.executor);

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "elasticrec/obs/metric.h"
@@ -50,6 +51,15 @@ struct StackOptions
      * executor-less path.
      */
     std::shared_ptr<runtime::Executor> executor = {};
+    /**
+     * Kernel backend every shard gather and MLP GEMM executes on:
+     * "scalar", "avx2", "avx512", or "" for the default (the
+     * ERC_KERNEL_BACKEND env var when set, else the widest ISA this
+     * host supports). A known name whose ISA is missing here degrades
+     * to the best available backend; an unknown name is a ConfigError.
+     * Outputs are bit-identical across backends either way.
+     */
+    std::string kernelBackend = {};
 };
 
 /** A fully wired in-process ElasticRec deployment. */
@@ -64,6 +74,8 @@ struct ElasticRecStack
     std::shared_ptr<runtime::Executor> executor = {};
     /** Batching front door; non-null iff an executor was supplied. */
     std::shared_ptr<QueryDispatcher> dispatcher = {};
+    /** The kernel backend the whole stack resolved to (never null). */
+    const kernels::KernelBackend *kernelBackend = nullptr;
 
     /**
      * Submit one query through the dispatcher (requires

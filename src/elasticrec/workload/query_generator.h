@@ -16,6 +16,7 @@
 
 #include "elasticrec/common/rng.h"
 #include "elasticrec/common/units.h"
+#include "elasticrec/kernels/kernel_backend.h"
 #include "elasticrec/workload/access_distribution.h"
 
 namespace erec::workload {
@@ -32,6 +33,15 @@ struct SparseLookup
     std::size_t batchSize() const { return offsets.size(); }
     /** Total number of gathers. */
     std::size_t numGathers() const { return indices.size(); }
+
+    /**
+     * Raw kernel-layer view of this lookup, valid while the vectors
+     * are alive and unmodified — what gatherPool consumes.
+     */
+    kernels::GatherRequest view() const
+    {
+        return kernels::GatherRequest(indices, offsets);
+    }
 };
 
 /** One inference request. */

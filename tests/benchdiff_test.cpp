@@ -150,6 +150,37 @@ TEST(BenchdiffCompareTest, RejectsDocumentsWithoutSweep)
         ConfigError);
 }
 
+TEST(BenchdiffCompareTest, CustomSweepKeyMatchesPoints)
+{
+    // The kernel bench keys its sweep on "point" ids, not "threads".
+    const auto baseline = parseJson(
+        R"({"sweep": [{"point": 0, "qps": 10}, {"point": 4, "qps": 5}]})");
+    const auto good = compare(
+        baseline,
+        parseJson(R"({"sweep": [{"point": 0, "qps": 12},
+                                {"point": 4, "qps": 5}]})"),
+        0.15, {}, "point");
+    EXPECT_TRUE(good.pass);
+    EXPECT_EQ(good.keyName, "point");
+    ASSERT_EQ(good.points.size(), 2u);
+    EXPECT_EQ(good.points[1].keyValue, 4u);
+    EXPECT_NE(formatReport(good).find("point=4"), std::string::npos);
+
+    // A current run missing a baseline point id fails.
+    const auto missing = compare(
+        baseline, parseJson(R"({"sweep": [{"point": 0, "qps": 12}]})"),
+        0.15, {}, "point");
+    EXPECT_FALSE(missing.pass);
+    EXPECT_TRUE(missing.points[1].missing);
+
+    // Entries lacking the configured key are a schema error.
+    EXPECT_THROW(
+        compare(baseline,
+                parseJson(R"({"sweep": [{"threads": 1, "qps": 9}]})"),
+                0.15, {}, "point"),
+        ConfigError);
+}
+
 std::string
 benchJsonWithAllocs(double qps1, double qps2, double a1, double a2)
 {

@@ -89,8 +89,7 @@ TEST(DlrmTest, DecompositionMatchesForward)
     std::vector<std::vector<float>> pooled(config.numTables);
     for (std::uint32_t t = 0; t < config.numTables; ++t) {
         pooled[t].assign(q.batchSize * config.embeddingDim, 0.0f);
-        model.table(t)->gatherPool(q.lookups[t].indices,
-                                   q.lookups[t].offsets,
+        model.table(t)->gatherPool(q.lookups[t].view(),
                                    pooled[t].data());
     }
     const auto via_parts =

@@ -30,7 +30,7 @@ TEST(EmbeddingTableTest, GatherPoolSumsRows)
     std::vector<std::uint32_t> indices = {1, 3, 2};
     std::vector<std::uint32_t> offsets = {0, 2};
     std::vector<float> out(2 * 4);
-    EXPECT_EQ(t.gatherPool(indices, offsets, out.data()), 3u);
+    EXPECT_EQ(t.gatherPool({indices, offsets}, out.data()), 3u);
     for (std::uint32_t d = 0; d < 4; ++d) {
         EXPECT_FLOAT_EQ(out[d], t.at(1, d) + t.at(3, d));
         EXPECT_FLOAT_EQ(out[4 + d], t.at(2, d));
@@ -44,7 +44,7 @@ TEST(EmbeddingTableTest, EmptyItemPoolsToZero)
     std::vector<std::uint32_t> indices = {5};
     std::vector<std::uint32_t> offsets = {0, 0};
     std::vector<float> out(2 * 4, 99.0f);
-    t.gatherPool(indices, offsets, out.data());
+    t.gatherPool({indices, offsets}, out.data());
     for (std::uint32_t d = 0; d < 4; ++d) {
         EXPECT_FLOAT_EQ(out[d], 0.0f);
         EXPECT_FLOAT_EQ(out[4 + d], t.at(5, d));
@@ -72,7 +72,7 @@ TEST(EmbeddingTableTest, VirtualGatherMatchesReadRow)
     std::vector<std::uint32_t> indices = {10, 20};
     std::vector<std::uint32_t> offsets = {0};
     std::vector<float> out(4);
-    t.gatherPool(indices, offsets, out.data());
+    t.gatherPool({indices, offsets}, out.data());
     std::vector<float> r10(4), r20(4);
     t.readRow(10, r10.data());
     t.readRow(20, r20.data());
@@ -99,7 +99,7 @@ TEST(EmbeddingTableTest, RejectsOutOfRangeAccess)
     std::vector<std::uint32_t> indices = {10};
     std::vector<std::uint32_t> offsets = {0};
     std::vector<float> out(4);
-    EXPECT_THROW(t.gatherPool(indices, offsets, out.data()),
+    EXPECT_THROW(t.gatherPool({indices, offsets}, out.data()),
                  ConfigError);
 }
 

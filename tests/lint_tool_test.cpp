@@ -146,6 +146,40 @@ TEST(LintToolTest, RawThreadOnlyInRuntimeModule)
         "raw-thread"));
 }
 
+TEST(LintToolTest, RawIntrinsicsOnlyInKernelsModule)
+{
+    const std::string inc = "#include <immintrin.h>\n";
+    const std::string type = "__m256 v = _mm256_setzero_ps();\n";
+    const std::string call =
+        "_mm_prefetch(reinterpret_cast<const char *>(p), _MM_HINT_T0);\n";
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/embedding/a.cc", inc),
+                        "raw-intrinsics"));
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/model/a.cc", type),
+                        "raw-intrinsics"));
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.cc", call),
+                        "raw-intrinsics"));
+    EXPECT_TRUE(hasRule(lintContent("bench/b.cpp", type),
+                        "raw-intrinsics"));
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.h",
+                                    "#pragma once\nnamespace erec {}\n"
+                                    "__m512 acc;\n"),
+                        "raw-intrinsics"));
+    // The kernels module is the blessed home of vector code.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/kernels/backend_avx2.cc",
+                    inc + type + call),
+        "raw-intrinsics"));
+    // Tests compare backends through the registry; the rule does not
+    // police them (they have no reason to use intrinsics anyway).
+    EXPECT_FALSE(hasRule(lintContent("tests/kernels_test.cpp", type),
+                         "raw-intrinsics"));
+    // Mentions in comments are stripped before matching.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.cc",
+                    "// uses _mm256_add_ps( under the hood\nint x;\n"),
+        "raw-intrinsics"));
+}
+
 TEST(LintToolTest, IostreamOnlyOutsideLibrary)
 {
     const std::string inc = "#include <iostream>\n";

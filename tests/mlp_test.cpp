@@ -11,6 +11,15 @@
 namespace erec::model {
 namespace {
 
+/** Single-sample forward through the one pointer-based entry point. */
+std::vector<float>
+forwardOne(const Mlp &m, const std::vector<float> &in)
+{
+    std::vector<float> out(m.spec().outputDim());
+    m.forward(in.data(), 1, out.data());
+    return out;
+}
+
 TEST(MlpSpecTest, FlopsAndParams)
 {
     MlpSpec spec{{256, 128, 32}};
@@ -28,10 +37,10 @@ TEST(MlpTest, OutputShapeAndDeterminism)
     Mlp a(MlpSpec{{8, 4, 2}}, 5);
     Mlp b(MlpSpec{{8, 4, 2}}, 5);
     std::vector<float> in(8, 0.5f);
-    EXPECT_EQ(a.forward(in).size(), 2u);
-    EXPECT_EQ(a.forward(in), b.forward(in));
+    EXPECT_EQ(forwardOne(a, in).size(), 2u);
+    EXPECT_EQ(forwardOne(a, in), forwardOne(b, in));
     Mlp c(MlpSpec{{8, 4, 2}}, 6);
-    EXPECT_NE(a.forward(in), c.forward(in));
+    EXPECT_NE(forwardOne(a, in), forwardOne(c, in));
 }
 
 TEST(MlpTest, LinearityOfSingleLayer)
@@ -41,8 +50,8 @@ TEST(MlpTest, LinearityOfSingleLayer)
     Mlp m(MlpSpec{{4, 3}}, 11);
     std::vector<float> x = {0.1f, -0.2f, 0.3f, 0.4f};
     std::vector<float> x2 = {0.2f, -0.4f, 0.6f, 0.8f};
-    const auto y = m.forward(x);
-    const auto y2 = m.forward(x2);
+    const auto y = forwardOne(m, x);
+    const auto y2 = forwardOne(m, x2);
     for (std::size_t i = 0; i < y.size(); ++i)
         EXPECT_NEAR(y2[i], 2 * y[i], 1e-5);
 }
@@ -56,7 +65,7 @@ TEST(MlpTest, HiddenReluClampsNegative)
     // the bias path (zero, as biases are zero-initialized).
     Mlp m(MlpSpec{{4, 8, 2}}, 13);
     std::vector<float> zero(4, 0.0f);
-    const auto y = m.forward(zero);
+    const auto y = forwardOne(m, zero);
     for (float v : y)
         EXPECT_FLOAT_EQ(v, 0.0f);
 }
@@ -77,18 +86,16 @@ TEST(MlpTest, BatchForwardMatchesPerItem)
     std::vector<float> batch_out(4 * 3);
     m.forward(batch_in.data(), 4, batch_out.data());
     for (int b = 0; b < 4; ++b) {
-        const auto single = m.forward(items[b]);
+        const auto single = forwardOne(m, items[b]);
         for (int o = 0; o < 3; ++o)
             EXPECT_NEAR(batch_out[b * 3 + o], single[o], 1e-5);
     }
 }
 
-TEST(MlpTest, RejectsBadSpecAndInput)
+TEST(MlpTest, RejectsBadSpec)
 {
     EXPECT_THROW(Mlp(MlpSpec{{8}}), ConfigError);
     EXPECT_THROW(Mlp(MlpSpec{{8, 0}}), ConfigError);
-    Mlp m(MlpSpec{{4, 2}});
-    EXPECT_THROW(m.forward(std::vector<float>(3)), ConfigError);
 }
 
 TEST(MlpSpecTest, PaperSpecsFlopOrdering)

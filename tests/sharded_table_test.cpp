@@ -76,7 +76,7 @@ TEST(ShardedTableTest, GatherPoolUsesPermutedRows)
     std::vector<std::uint32_t> local = {0, 2};
     std::vector<std::uint32_t> offsets = {0};
     std::vector<float> out(4);
-    st.gatherPool(1, local, offsets, out.data());
+    st.gatherPool(1, {local, offsets}, out.data());
     for (std::uint32_t d = 0; d < 4; ++d)
         EXPECT_FLOAT_EQ(out[d], table->at(4, d) + table->at(2, d));
 }
@@ -87,7 +87,7 @@ TEST(ShardedTableTest, GatherEscapingShardThrows)
     std::vector<std::uint32_t> local = {5}; // shard 0 has rows [0, 5)
     std::vector<std::uint32_t> offsets = {0};
     std::vector<float> out(4);
-    EXPECT_THROW(st.gatherPool(0, local, offsets, out.data()),
+    EXPECT_THROW(st.gatherPool(0, {local, offsets}, out.data()),
                  ConfigError);
 }
 
@@ -120,7 +120,7 @@ TEST(ShardedTableTest, ShardGathersEqualWholeTableGather)
             continue;
         std::vector<std::uint32_t> offsets = {0};
         std::vector<float> part(8);
-        st.gatherPool(s, local, offsets, part.data());
+        st.gatherPool(s, {local, offsets}, part.data());
         for (int d = 0; d < 8; ++d)
             got[d] += part[d];
     }

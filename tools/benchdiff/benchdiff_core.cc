@@ -231,10 +231,11 @@ numberField(const JsonValue &entry, const std::string &key)
     return v->number;
 }
 
-/** Extract {threads -> entry} from a bench document's "sweep" array.
+/** Extract {key value -> entry} from a bench document's "sweep" array.
  *  Pointers alias the document, which outlives the comparison. */
 std::map<std::size_t, const JsonValue *>
-sweepEntries(const JsonValue &doc, const std::string &which)
+sweepEntries(const JsonValue &doc, const std::string &which,
+             const std::string &key)
 {
     const JsonValue *sweep = doc.find("sweep");
     ERC_CHECK(sweep != nullptr &&
@@ -245,12 +246,12 @@ sweepEntries(const JsonValue &doc, const std::string &which)
     for (const JsonValue &entry : sweep->array) {
         ERC_CHECK(entry.kind == JsonValue::Kind::Object,
                   which << " sweep entries must be objects");
-        const auto threads =
-            static_cast<std::size_t>(numberField(entry, "threads"));
-        ERC_CHECK(out.find(threads) == out.end(),
-                  which << " sweep lists threads=" << threads
+        const auto value =
+            static_cast<std::size_t>(numberField(entry, key));
+        ERC_CHECK(out.find(value) == out.end(),
+                  which << " sweep lists " << key << "=" << value
                         << " twice");
-        out[threads] = &entry;
+        out[value] = &entry;
         (void)numberField(entry, "qps"); // Schema check up front.
     }
     return out;
@@ -307,18 +308,20 @@ parseMetricTolerance(const std::string &arg)
 
 DiffReport
 compare(const JsonValue &baseline, const JsonValue &current,
-        double tolerance, const MetricTolerances &metric_tolerances)
+        double tolerance, const MetricTolerances &metric_tolerances,
+        const std::string &key)
 {
-    const auto base = sweepEntries(baseline, "baseline");
-    const auto cur = sweepEntries(current, "current");
+    const auto base = sweepEntries(baseline, "baseline", key);
+    const auto cur = sweepEntries(current, "current", key);
 
     DiffReport report;
     report.tolerance = tolerance;
-    for (const auto &[threads, base_entry] : base) {
+    report.keyName = key;
+    for (const auto &[key_value, base_entry] : base) {
         PointDiff p;
-        p.threads = threads;
+        p.keyValue = key_value;
         p.baselineQps = numberField(*base_entry, "qps");
-        const auto it = cur.find(threads);
+        const auto it = cur.find(key_value);
         if (it == cur.end()) {
             p.missing = true;
             p.regressed = true;
@@ -339,8 +342,8 @@ compare(const JsonValue &baseline, const JsonValue &current,
             const JsonValue *base_v = base_entry->find(name);
             ERC_CHECK(base_v != nullptr &&
                           base_v->kind == JsonValue::Kind::Number,
-                      "baseline sweep entry (threads="
-                          << threads << ") lacks numeric \"" << name
+                      "baseline sweep entry (" << key << "="
+                          << key_value << ") lacks numeric \"" << name
                           << "\" named by --metric-tolerance");
             m.baseline = base_v->number;
             const JsonValue *cur_v =
@@ -370,7 +373,7 @@ formatReport(const DiffReport &report)
     out.setf(std::ios::fixed);
     out.precision(1);
     for (const PointDiff &p : report.points) {
-        out << "threads=" << p.threads << ": baseline "
+        out << report.keyName << "=" << p.keyValue << ": baseline "
             << p.baselineQps << " qps";
         if (p.missing) {
             out << ", MISSING from current run -> FAIL\n";

@@ -5,7 +5,11 @@
  * Core of the perf-regression gate (`erec_benchdiff`): parses two
  * BENCH_*.json files emitted by the bench harnesses and compares the
  * current run's QPS against the checked-in baseline, sweep point by
- * sweep point (matched on the "threads" key).
+ * sweep point. Points are matched on a numeric sweep key — "threads"
+ * by default (the serving bench), or any other member via `--key`
+ * (the kernel bench matches on "point" ids). "qps" stays the rate
+ * field name whatever the unit (the kernel bench stores GB/s and
+ * GFLOP/s in it); the gate only compares ratios.
  *
  * A point regresses when current_qps < baseline_qps * (1 - tolerance).
  * Faster-than-baseline runs always pass — the gate only guards the
@@ -25,7 +29,7 @@
  * Parsing is a self-contained recursive-descent JSON reader (the repo
  * takes no third-party deps); it accepts general JSON, and compare()
  * then requires the bench schema: a top-level object with a "sweep"
- * array of objects carrying numeric "threads" and "qps".
+ * array of objects carrying numeric "qps" and the sweep key.
  */
 
 #include <cstddef>
@@ -98,7 +102,8 @@ struct MetricDiff
 /** Verdict for one baseline sweep point. */
 struct PointDiff
 {
-    std::size_t threads = 0;
+    /** Value of the sweep key (threads, point id, ...) at this point. */
+    std::size_t keyValue = 0;
     double baselineQps = 0.0;
     /** Current QPS; 0 when the point is missing from the current run. */
     double currentQps = 0.0;
@@ -116,6 +121,8 @@ struct DiffReport
 {
     std::vector<PointDiff> points;
     double tolerance = 0.0;
+    /** Sweep member the points were matched on ("threads", ...). */
+    std::string keyName = "threads";
     /** True iff no point (QPS or overridden metric) is missing or
      *  regressed. */
     bool pass = true;
@@ -123,15 +130,17 @@ struct DiffReport
 
 /**
  * Compare a current bench run against the baseline. Every baseline
- * sweep point must appear in the current run (matched on "threads")
- * and hold >= (1 - tolerance) of the baseline QPS. Extra points in the
- * current run are ignored — adding sweep coverage is not a regression.
- * Each metric in `metric_tolerances` is additionally gated
- * lower-is-better at every sweep point (see the file comment).
+ * sweep point must appear in the current run (matched on the numeric
+ * `key` member, default "threads") and hold >= (1 - tolerance) of the
+ * baseline QPS. Extra points in the current run are ignored — adding
+ * sweep coverage is not a regression. Each metric in
+ * `metric_tolerances` is additionally gated lower-is-better at every
+ * sweep point (see the file comment).
  */
 DiffReport compare(const JsonValue &baseline, const JsonValue &current,
                    double tolerance,
-                   const MetricTolerances &metric_tolerances = {});
+                   const MetricTolerances &metric_tolerances = {},
+                   const std::string &key = "threads");
 
 /** Human-readable per-point report with a PASS/FAIL trailer. */
 std::string formatReport(const DiffReport &report);

@@ -4,6 +4,7 @@
  *
  *     erec_benchdiff baseline.json current.json [--tolerance 15%]
  *         [--metric-tolerance allocs_per_query=0 ...]
+ *         [--key threads]
  *
  * Exit codes: 0 = within tolerance, 1 = regression (or baseline point
  * missing from the current run), 2 = usage / unreadable / malformed
@@ -38,7 +39,8 @@ usage()
 {
     std::cerr << "usage: erec_benchdiff <baseline.json> <current.json>"
                  " [--tolerance 15%|0.15]"
-                 " [--metric-tolerance <name>=<tol> ...]\n";
+                 " [--metric-tolerance <name>=<tol> ...]"
+                 " [--key <sweep member, default threads>]\n";
     std::exit(2);
 }
 
@@ -48,6 +50,7 @@ int
 main(int argc, char **argv)
 {
     std::string baseline_path, current_path, tolerance_arg = "15%";
+    std::string key = "threads";
     std::vector<std::string> metric_args;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -55,6 +58,8 @@ main(int argc, char **argv)
             tolerance_arg = argv[++i];
         } else if (arg == "--metric-tolerance" && i + 1 < argc) {
             metric_args.push_back(argv[++i]);
+        } else if (arg == "--key" && i + 1 < argc) {
+            key = argv[++i];
         } else if (baseline_path.empty()) {
             baseline_path = arg;
         } else if (current_path.empty()) {
@@ -79,7 +84,7 @@ main(int argc, char **argv)
             erec::benchdiff::parseJson(readFile(current_path));
         const auto report =
             erec::benchdiff::compare(baseline, current, tolerance,
-                                     metric_tolerances);
+                                     metric_tolerances, key);
         std::cout << erec::benchdiff::formatReport(report);
         return report.pass ? 0 : 1;
     } catch (const std::exception &e) {

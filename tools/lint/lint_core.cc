@@ -164,6 +164,20 @@ lineRules()
             {"runtime"},
         },
         {
+            "raw-intrinsics",
+            std::regex(R"(^\s*#\s*include\s*<[a-z0-9]*intrin\.h>)"
+                       R"(|\b__m(?:64|128|256|512)[di]?\b)"
+                       R"(|\b_mm(?:256|512)?_[A-Za-z0-9_]+\s*\()"),
+            "raw SIMD intrinsics outside src/elasticrec/kernels/; "
+            "vector code goes through the kernels::KernelBackend "
+            "registry so every kernel has a scalar reference and a "
+            "bit-identity test",
+            {FileClass::LibrarySource, FileClass::LibraryHeader,
+             FileClass::BenchSource, FileClass::ExampleSource},
+            {},
+            {"kernels"},
+        },
+        {
             "iostream-in-library",
             std::regex(R"(^\s*#\s*include\s*<iostream>)"
                        R"(|\bstd\s*::\s*(cout|cerr|clog)\b)"),

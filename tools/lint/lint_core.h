@@ -19,6 +19,12 @@
  *    src/elasticrec/runtime/ — concurrency goes through
  *    runtime::ThreadPool / runtime::Executor so thread counts stay an
  *    explicit, observable resource (tests may spawn threads freely).
+ *  - raw-intrinsics: SIMD intrinsics (<immintrin.h>, __m256/__m512
+ *    vector types, _mm*_ calls) live only in src/elasticrec/kernels/ —
+ *    the kernel-backend registry is the one place vector code is
+ *    allowed in library, bench and example code, so every SIMD path
+ *    has a scalar reference implementation and a cross-backend
+ *    bit-identity test.
  *  - iostream-in-library: library code logs through common/logging.h;
  *    #include <iostream> is only allowed in tests, benches, examples
  *    and tools.
