@@ -10,6 +10,7 @@
  */
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "elasticrec/hw/platform.h"
 #include "elasticrec/model/dlrm_config.h"
 #include "elasticrec/obs/export.h"
+#include "elasticrec/obs/perfetto.h"
 #include "elasticrec/sim/experiment.h"
 
 namespace erec::bench {
@@ -75,10 +77,12 @@ metricsOutDir(int argc, char **argv)
 
 /**
  * Dump one simulation's telemetry as `<dir>/<stem>.prom` plus
- * `<stem>_traces.jsonl` (when tracing was on) and `<stem>_alerts.jsonl`
- * (the SLO alert log, always written so "no transitions" is a
- * recorded verdict rather than a missing file). No-op when `dir` is
- * empty, so binaries can call it unconditionally.
+ * `<stem>_traces.jsonl` and `<stem>_perfetto.json` (when tracing was
+ * on; the latter loads directly into ui.perfetto.dev /
+ * chrome://tracing) and `<stem>_alerts.jsonl` (the SLO alert log,
+ * always written so "no transitions" is a recorded verdict rather
+ * than a missing file). No-op when `dir` is empty, so binaries can
+ * call it unconditionally.
  */
 inline void
 exportSimMetrics(const std::string &dir, const std::string &stem,
@@ -91,9 +95,14 @@ exportSimMetrics(const std::string &dir, const std::string &stem,
     artifacts.traces = traces.empty() ? nullptr : &traces;
     artifacts.alerts = &sim.alertEvents();
     obs::writeMetricsFiles(dir, stem, sim.observability(), artifacts);
+    if (!traces.empty()) {
+        std::ofstream perfetto(dir + "/" + stem + "_perfetto.json");
+        obs::writePerfettoJson(perfetto, traces);
+    }
     std::cout << "telemetry: " << dir << "/" << stem << ".prom";
     if (!traces.empty())
-        std::cout << " (+" << stem << "_traces.jsonl)";
+        std::cout << " (+" << stem << "_traces.jsonl, +" << stem
+                  << "_perfetto.json)";
     std::cout << " (+" << stem << "_alerts.jsonl)\n";
 }
 

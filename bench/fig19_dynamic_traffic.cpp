@@ -65,7 +65,13 @@ main(int argc, char **argv)
     opt.seed = 42;
     // Trace 1% of queries when exporting telemetry; tracing is off on
     // plain figure runs so the published numbers are untouched.
-    opt.traceSampleEvery = metrics_dir.empty() ? 0 : 100;
+    // --trace-sample N overrides either default (sampling consumes no
+    // randomness, so any rate leaves the SimResult bit-identical).
+    std::uint64_t trace_sample = metrics_dir.empty() ? 0 : 100;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::string(argv[i]) == "--trace-sample")
+            trace_sample = std::stoull(argv[i + 1]);
+    opt.traceSampleEvery = static_cast<std::uint32_t>(trace_sample);
 
     const auto plans = bench::makePlans(config, node);
 
@@ -88,11 +94,12 @@ main(int argc, char **argv)
     // for plotting (`--metrics-out DIR` and its value are skipped).
     std::string csv_base;
     for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--metrics-out") {
+        const std::string arg = argv[i];
+        if (arg == "--metrics-out" || arg == "--trace-sample") {
             ++i;
             continue;
         }
-        csv_base = argv[i];
+        csv_base = arg;
         break;
     }
     if (!csv_base.empty()) {

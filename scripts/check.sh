@@ -95,8 +95,14 @@ stage_arch() {
 }
 
 # Perf-regression gate: run the concurrent serving throughput sweep
-# (quick mode) and compare its QPS per worker count against the
-# checked-in conservative baseline with erec_benchdiff. Set
+# (quick mode, 1%-sampled causal tracing on) and compare its QPS per
+# worker count against the checked-in conservative baseline with
+# erec_benchdiff. Two exact gates ride along: allocs_per_query must
+# stay 0 *with tracing on* (the flight recorder's rings are hot-path
+# clean), and trace_overhead_pct — the traced-vs-untraced QPS delta —
+# must stay at or below the 5% baseline ceiling. Then self-test the
+# trace gate by inflating trace_overhead_pct in a copy of the current
+# results: a gate that cannot fail is not a gate. Set
 # ELASTICREC_BENCH_OUT to keep BENCH_serving.json (CI uploads it as an
 # artifact); by default a temp dir is used and removed.
 stage_bench() {
@@ -113,12 +119,32 @@ stage_bench() {
         out="$(mktemp -d)"
         trap 'rm -rf "$out"' RETURN
     fi
-    "$tree/bench/serving_throughput" --quick \
+    local benchdiff="$tree/tools/benchdiff/erec_benchdiff"
+    "$tree/bench/serving_throughput" --quick --trace-sample 100 \
         --out "$out/BENCH_serving.json"
-    "$tree/tools/benchdiff/erec_benchdiff" \
+    "$benchdiff" \
         "$repo_root/bench/baselines/BENCH_serving.json" \
         "$out/BENCH_serving.json" --tolerance 15% \
-        --metric-tolerance allocs_per_query=0
+        --metric-tolerance allocs_per_query=0 \
+        --metric-tolerance trace_overhead_pct=0
+
+    # Trace-gate self-test: rewrite the overhead of every sweep entry
+    # to 3x the 5% baseline ceiling and assert the gate exits 1.
+    sed 's/"trace_overhead_pct": [0-9.]*/"trace_overhead_pct": 15.0/' \
+        "$out/BENCH_serving.json" > "$out/BENCH_serving_inflated.json"
+    local rc=0
+    "$benchdiff" \
+        "$repo_root/bench/baselines/BENCH_serving.json" \
+        "$out/BENCH_serving_inflated.json" --tolerance 15% \
+        --metric-tolerance allocs_per_query=0 \
+        --metric-tolerance trace_overhead_pct=0 \
+        > "$out/benchdiff-inflated.txt" 2>&1 || rc=$?
+    if [ "$rc" -ne 1 ]; then
+        echo "bench self-test: expected exit 1 on inflated" \
+            "trace_overhead_pct, got $rc" >&2
+        cat "$out/benchdiff-inflated.txt" >&2
+        exit 1
+    fi
 }
 
 # Kernel-backend perf gate: run the per-backend gather-pool / GEMM
@@ -234,13 +260,17 @@ SEED
 }
 
 # End-to-end smoke: run the quickstart example and the Figure 19 bench
-# with --metrics-out, validate every emitted telemetry file (Prometheus
-# text + trace/alert JSON-lines) with promcheck, then render the run
-# report and gate on the "lost-queries" alert — steady fig19 traffic
-# must never lose a query. (The SLA-ratio and p95 alerts legitimately
-# fire during fig19's traffic spike, so they don't gate.) Set
-# ELASTICREC_SMOKE_OUT to keep the telemetry + report (CI uploads it
-# as an artifact); by default a temp dir is used and removed.
+# with --metrics-out and full causal tracing (--trace-sample 100 =
+# every 100th query), validate every emitted telemetry file
+# (Prometheus text, trace/alert JSON-lines against erec_trace/v1, and
+# the Perfetto export) with promcheck, then render the run report —
+# stage sketches plus the critical-path table — and gate on the
+# "lost-queries" alert — steady fig19 traffic must never lose a query.
+# (The SLA-ratio and p95 alerts legitimately fire during fig19's
+# traffic spike, so they don't gate.) Set ELASTICREC_SMOKE_OUT to keep
+# the telemetry + report (CI uploads it as an artifact, including the
+# Perfetto trace for ui.perfetto.dev); by default a temp dir is used
+# and removed.
 stage_smoke() {
     local tree="$repo_root/build-check-release"
     cmake -B "$tree" -S "$repo_root" \
@@ -256,8 +286,10 @@ stage_smoke() {
         trap 'rm -rf "$out"' RETURN
     fi
     "$tree/examples/quickstart" --metrics-out "$out"
-    "$tree/bench/fig19_dynamic_traffic" --metrics-out "$out"
-    "$tree/tools/promcheck/promcheck" "$out"/*.prom "$out"/*.jsonl
+    "$tree/bench/fig19_dynamic_traffic" --metrics-out "$out" \
+        --trace-sample 100
+    "$tree/tools/promcheck/promcheck" "$out"/*.prom "$out"/*.jsonl \
+        "$out"/*_perfetto.json
     "$tree/tools/report/erec_report" "$out" \
         --fail-on-alert lost-queries | tee "$out/report.txt"
 }

@@ -276,6 +276,10 @@ parseSpan(JsonCursor &cur)
             span.start = cur.parseInt();
         else if (key == "end_us")
             span.end = cur.parseInt();
+        else if (key == "span_id")
+            span.spanId = static_cast<std::uint64_t>(cur.parseInt());
+        else if (key == "parent_id")
+            span.parentId = static_cast<std::uint64_t>(cur.parseInt());
         else
             erec::fatal("trace json: unknown span key '" + key + "'");
     }
@@ -298,6 +302,8 @@ parseTraceLine(const std::string &line)
         cur.expect(':');
         if (key == "query_id") {
             trace.queryId = static_cast<std::uint64_t>(cur.parseInt());
+        } else if (key == "trace_id") {
+            trace.traceId = static_cast<std::uint64_t>(cur.parseInt());
         } else if (key == "arrival_us") {
             trace.arrival = cur.parseInt();
         } else if (key == "completion_us") {
@@ -398,6 +404,7 @@ writeTraceJsonLines(std::ostream &os, const std::deque<QueryTrace> &traces)
 {
     for (const auto &trace : traces) {
         os << "{\"query_id\":" << trace.queryId
+           << ",\"trace_id\":" << trace.traceId
            << ",\"arrival_us\":" << trace.arrival
            << ",\"completion_us\":" << trace.completion
            << ",\"completed\":" << (trace.completed ? "true" : "false")
@@ -408,7 +415,9 @@ writeTraceJsonLines(std::ostream &os, const std::deque<QueryTrace> &traces)
                 os << ',';
             os << "{\"name\":\"" << escapeJson(span.name)
                << "\",\"start_us\":" << span.start
-               << ",\"end_us\":" << span.end << '}';
+               << ",\"end_us\":" << span.end
+               << ",\"span_id\":" << span.spanId
+               << ",\"parent_id\":" << span.parentId << '}';
         }
         os << "]}\n";
     }

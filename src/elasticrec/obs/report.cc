@@ -32,7 +32,12 @@ attributeStagesImpl(const Container &traces)
     for (const QueryTrace &trace : traces) {
         ++report.tracedQueries;
         if (!trace.completed) {
+            // A lost/in-flight query has no completion: every one of
+            // its spans is still causally open, so none may feed the
+            // stage sketches (their durations describe an unfinished
+            // query). They surface in openSpans instead of vanishing.
             ++report.lostTraces;
+            report.openSpans += trace.spans.size();
             continue;
         }
         ++report.completedTraces;
@@ -41,6 +46,12 @@ attributeStagesImpl(const Container &traces)
         report.endToEndTotalMs += latency_ms;
         e2e.insert(latency_ms);
         for (const Span &span : trace.spans) {
+            if (span.end < span.start) {
+                // Never-closed span exported inside a completed trace
+                // (end still 0): exclude the bogus negative duration.
+                ++report.openSpans;
+                continue;
+            }
             StageAccumulator &acc = stages[stageOf(span.name)];
             const double ms = units::toMillis(span.end - span.start);
             ++acc.spans;
@@ -103,6 +114,137 @@ attributeStages(const std::vector<QueryTrace> &traces)
     return attributeStagesImpl(traces);
 }
 
+namespace {
+
+/**
+ * Stage chain bounding one completed trace's latency: from the root
+ * span, repeatedly descend into the child whose end time is largest
+ * (ties: later start, then smaller span id — all deterministic). For
+ * flat traces without span ids, fall back to the single latest-ending
+ * span.
+ */
+std::vector<std::string>
+criticalChainOf(const QueryTrace &trace)
+{
+    std::vector<std::string> chain;
+    const Span *root = nullptr;
+    // child spans keyed by parent id; spans are few (O(10)), linear
+    // scans are fine.
+    bool has_ids = false;
+    for (const Span &span : trace.spans) {
+        if (span.spanId != 0)
+            has_ids = true;
+        if (span.spanId == kRootSpanId)
+            root = &span;
+    }
+    if (!has_ids || root == nullptr) {
+        // Legacy flat trace: attribute to the latest-ending span.
+        const Span *last = nullptr;
+        for (const Span &span : trace.spans)
+            if (last == nullptr || span.end > last->end)
+                last = &span;
+        if (last != nullptr)
+            chain.push_back(stageOf(last->name));
+        return chain;
+    }
+    const Span *node = root;
+    while (node != nullptr) {
+        chain.push_back(stageOf(node->name));
+        const Span *next = nullptr;
+        for (const Span &span : trace.spans) {
+            if (span.parentId != node->spanId)
+                continue;
+            if (next == nullptr || span.end > next->end ||
+                (span.end == next->end &&
+                 (span.start > next->start ||
+                  (span.start == next->start &&
+                   span.spanId < next->spanId))))
+                next = &span;
+        }
+        node = next;
+    }
+    return chain;
+}
+
+template <typename Container>
+CriticalPathReport
+analyzeCriticalPathsImpl(const Container &traces)
+{
+    CriticalPathReport report;
+    struct ChainAccumulator
+    {
+        std::uint64_t count = 0;
+        double totalMs = 0.0;
+    };
+    std::map<std::string, ChainAccumulator> chains;
+    for (const QueryTrace &trace : traces) {
+        if (!trace.completed)
+            continue;
+        const std::vector<std::string> chain = criticalChainOf(trace);
+        if (chain.empty())
+            continue;
+        ++report.analyzedTraces;
+        std::string signature;
+        for (const std::string &stage : chain) {
+            if (!signature.empty())
+                signature += " > ";
+            signature += stage;
+        }
+        ChainAccumulator &acc = chains[signature];
+        ++acc.count;
+        acc.totalMs += units::toMillis(trace.completion - trace.arrival);
+    }
+    for (const auto &[signature, acc] : chains) {
+        CriticalPathStat stat;
+        stat.chain = signature;
+        stat.count = acc.count;
+        stat.totalMs = acc.totalMs;
+        stat.meanMs = acc.totalMs / static_cast<double>(acc.count);
+        report.chains.push_back(std::move(stat));
+    }
+    std::stable_sort(report.chains.begin(), report.chains.end(),
+                     [](const CriticalPathStat &a,
+                        const CriticalPathStat &b) {
+                         return a.count > b.count;
+                     });
+    return report;
+}
+
+} // namespace
+
+CriticalPathReport
+analyzeCriticalPaths(const std::deque<QueryTrace> &traces)
+{
+    return analyzeCriticalPathsImpl(traces);
+}
+
+CriticalPathReport
+analyzeCriticalPaths(const std::vector<QueryTrace> &traces)
+{
+    return analyzeCriticalPathsImpl(traces);
+}
+
+void
+writeCriticalPathTable(std::ostream &os, const CriticalPathReport &report)
+{
+    os << "Critical paths (" << report.analyzedTraces
+       << " completed traced quer"
+       << (report.analyzedTraces == 1 ? "y" : "ies") << ")\n";
+    if (report.chains.empty()) {
+        os << "  no completed traces with spans; nothing bounds "
+              "completion\n";
+        return;
+    }
+    TablePrinter t({"critical path", "queries", "mean e2e ms"});
+    for (const CriticalPathStat &s : report.chains)
+        t.addRow({s.chain,
+                  TablePrinter::num(static_cast<std::int64_t>(s.count)),
+                  TablePrinter::num(s.meanMs, 2)});
+    t.print(os);
+    os << "  (path = stage chain whose span end times bound each "
+          "query's completion)\n";
+}
+
 std::vector<SloVerdict>
 summarizeAlerts(const std::vector<AlertEvent> &events)
 {
@@ -130,6 +272,8 @@ writeStageTable(std::ostream &os, const AttributionReport &report)
        << " traced queries, " << report.completedTraces << " completed";
     if (report.lostTraces > 0)
         os << ", " << report.lostTraces << " lost";
+    if (report.openSpans > 0)
+        os << ", " << report.openSpans << " open spans excluded";
     os << ")\n";
     if (report.completedTraces == 0) {
         os << "  no completed traces; run with tracing enabled "

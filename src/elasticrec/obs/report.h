@@ -53,6 +53,12 @@ struct AttributionReport
     std::uint64_t completedTraces = 0;
     /** Traces whose query never completed (lost to a pod crash). */
     std::uint64_t lostTraces = 0;
+    /** Spans excluded from the stage sketches because they never
+     *  closed: every span of a lost/in-flight trace, plus any span of
+     *  a completed trace whose end precedes its start (a stage that
+     *  was still open at export time). Mixing them into the stage
+     *  statistics would count bogus `end - start` durations. */
+    std::uint64_t openSpans = 0;
     /** Summed arrival->completion latency of completed traces. */
     double endToEndTotalMs = 0.0;
     double meanEndToEndMs = 0.0;
@@ -65,6 +71,39 @@ std::string stageOf(const std::string &span_name);
 
 AttributionReport attributeStages(const std::deque<QueryTrace> &traces);
 AttributionReport attributeStages(const std::vector<QueryTrace> &traces);
+
+/** One aggregated critical-path chain: the stage sequence that
+ *  bounded completion for `count` traced queries. */
+struct CriticalPathStat
+{
+    /** Normalized stage chain, root first ("query > rpc/request >
+     *  sparse/service"). */
+    std::string chain;
+    std::uint64_t count = 0;
+    double totalMs = 0.0;
+    double meanMs = 0.0;
+};
+
+/** Critical-path analysis over one run's sampled traces. */
+struct CriticalPathReport
+{
+    /** Chains ordered by count (largest first), ties by chain name. */
+    std::vector<CriticalPathStat> chains;
+    /** Completed traces the analysis covered. */
+    std::uint64_t analyzedTraces = 0;
+};
+
+/**
+ * Per traced query, walk the span tree from the root and follow the
+ * child whose end time bounds its parent's completion; the visited
+ * stage chain is the query's critical path. Chains are aggregated by
+ * their normalized (stageOf) signature. Flat legacy traces (no span
+ * ids) degrade to a one-hop chain through the latest-ending span.
+ */
+CriticalPathReport analyzeCriticalPaths(
+    const std::deque<QueryTrace> &traces);
+CriticalPathReport analyzeCriticalPaths(
+    const std::vector<QueryTrace> &traces);
 
 /** Per-rule rollup of an alert log. */
 struct SloVerdict
@@ -82,6 +121,8 @@ std::vector<SloVerdict> summarizeAlerts(
 /** `erec_report` sections. Each is a no-op-free renderer: empty input
  *  still prints a summary line, so reports are self-describing. */
 void writeStageTable(std::ostream &os, const AttributionReport &report);
+void writeCriticalPathTable(std::ostream &os,
+                            const CriticalPathReport &report);
 void writeSloVerdicts(std::ostream &os,
                       const std::vector<SloVerdict> &verdicts);
 void writeAlertTimeline(std::ostream &os,

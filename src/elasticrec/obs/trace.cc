@@ -16,6 +16,7 @@ Tracer::maybeSample(SimTime arrival)
         return nullptr;
     QueryTrace trace;
     trace.queryId = n;
+    trace.traceId = n + 1;
     trace.arrival = arrival;
     traces_.push_back(std::move(trace));
     return &traces_.back();
@@ -27,9 +28,16 @@ Tracer::finish(QueryTrace *trace, SimTime completion)
     ERC_ASSERT(trace != nullptr, "finish() on a null trace");
     trace->completion = completion;
     trace->completed = true;
+    // Start-time order, with the structural span id as tie-break: a
+    // child() id is always numerically larger than its parent's, so
+    // equal-start parents (root at arrival vs. its queue child) still
+    // serialize parent-before-child, which the erec_trace/v1 schema
+    // requires.
     std::stable_sort(trace->spans.begin(), trace->spans.end(),
                      [](const Span &a, const Span &b) {
-                         return a.start < b.start;
+                         if (a.start != b.start)
+                             return a.start < b.start;
+                         return a.spanId < b.spanId;
                      });
 }
 

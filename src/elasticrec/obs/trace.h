@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "elasticrec/common/units.h"
+#include "elasticrec/obs/span_name.h"
+#include "elasticrec/obs/trace_context.h"
 
 namespace erec::obs {
 
@@ -31,6 +33,10 @@ struct Span
     std::string name;
     SimTime start = 0;
     SimTime end = 0;
+    /** Causal position in the trace's span tree. 0 ids mean "flat
+     *  legacy span" (pre-causal traces still parse and report). */
+    std::uint64_t spanId = 0;
+    std::uint64_t parentId = 0;
 };
 
 /** The full record of one sampled query. */
@@ -38,6 +44,8 @@ struct QueryTrace
 {
     /** Arrival index of the query in its run (0-based). */
     std::uint64_t queryId = 0;
+    /** Causal trace id (queryId + 1 for sampled queries; 0 legacy). */
+    std::uint64_t traceId = 0;
     SimTime arrival = 0;
     /** Valid only when completed (lost queries keep 0). */
     SimTime completion = 0;
@@ -47,7 +55,17 @@ struct QueryTrace
 
     void addSpan(std::string name, SimTime start, SimTime end)
     {
-        spans.push_back({std::move(name), start, end});
+        spans.push_back({std::move(name), start, end, 0, 0});
+    }
+
+    /** Causal span: interned name plus tree position. Library call
+     *  sites use this form (the trace-name-literal lint rule bans
+     *  string temporaries on trace calls). */
+    void addSpan(NameId name, SimTime start, SimTime end,
+                 std::uint64_t span_id, std::uint64_t parent_id)
+    {
+        spans.push_back({spanName(name), start, end, span_id,
+                         parent_id});
     }
 };
 

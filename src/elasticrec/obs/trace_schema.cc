@@ -1,0 +1,95 @@
+#include "elasticrec/obs/trace_schema.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace erec::obs {
+
+namespace {
+
+void
+validateOne(const QueryTrace &trace, std::vector<std::string> *errors)
+{
+    const auto fail = [&](const std::string &what) {
+        std::ostringstream oss;
+        oss << "trace query_id=" << trace.queryId << ": " << what;
+        errors->push_back(oss.str());
+    };
+
+    std::map<std::uint64_t, const Span *> by_id;
+    SimTime prev_start = 0;
+    SimTime max_end = 0;
+    bool first = true;
+    for (const Span &span : trace.spans) {
+        if (span.end < span.start)
+            fail("span '" + span.name + "' ends before it starts");
+        max_end = std::max(max_end, span.end);
+        if (trace.completed) {
+            // Open traces are exported mid-flight in whatever order
+            // their legs finished; only closed traces promise sorted
+            // spans.
+            if (!first && span.start < prev_start)
+                fail("span '" + span.name +
+                     "' breaks monotonic start order");
+            prev_start = span.start;
+            first = false;
+        }
+        if (span.spanId != 0) {
+            if (!by_id.emplace(span.spanId, &span).second)
+                fail("duplicate span id " +
+                     std::to_string(span.spanId));
+        }
+    }
+    for (const Span &span : trace.spans) {
+        if (span.parentId == 0)
+            continue;
+        const auto parent = by_id.find(span.parentId);
+        if (parent == by_id.end()) {
+            // Open traces are exported mid-flight: enclosing spans
+            // (e.g. the root query span) only close at completion, so
+            // a dangling parent is legitimate there.
+            if (trace.completed)
+                fail("span '" + span.name +
+                     "' links to missing parent " +
+                     std::to_string(span.parentId));
+            continue;
+        }
+        if (parent->second->start > span.end)
+            fail("span '" + span.name +
+                 "' completes before its parent '" +
+                 parent->second->name + "' starts");
+    }
+    if (trace.completed) {
+        if (trace.completion < trace.arrival)
+            fail("completion precedes arrival");
+        if (trace.completion < max_end)
+            fail("a span outlives the trace completion");
+    }
+}
+
+} // namespace
+
+template <typename Container>
+static std::vector<std::string>
+validateImpl(const Container &traces)
+{
+    std::vector<std::string> errors;
+    for (const QueryTrace &trace : traces)
+        validateOne(trace, &errors);
+    return errors;
+}
+
+std::vector<std::string>
+validateTraceSchema(const std::vector<QueryTrace> &traces)
+{
+    return validateImpl(traces);
+}
+
+std::vector<std::string>
+validateTraceSchema(const std::deque<QueryTrace> &traces)
+{
+    return validateImpl(traces);
+}
+
+} // namespace erec::obs

@@ -1,0 +1,41 @@
+#pragma once
+
+/**
+ * @file
+ * The `erec_trace/v1` schema: the contract every exported
+ * `*_traces.jsonl` artifact must satisfy, validated by promcheck in
+ * the CI smoke stage so a broken exporter (or a causality bug in span
+ * id assignment) fails the build instead of silently producing
+ * garbage traces.
+ *
+ * Per trace:
+ *  - every span closes after it opens (end >= start);
+ *  - completed traces list spans in monotonic start order, and the
+ *    completion timestamp covers every span end;
+ *  - non-zero span ids are unique within the trace;
+ *  - every non-zero parent id resolves to a span in the same trace
+ *    (parents are never dropped while a child survives), and a parent
+ *    never starts after its child ends.
+ *
+ * Legacy flat traces (all ids zero) remain valid: the causal checks
+ * only engage where ids are present.
+ */
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "elasticrec/obs/trace.h"
+
+namespace erec::obs {
+
+/** Schema identifier promcheck reports against. */
+inline constexpr const char *kTraceSchemaVersion = "erec_trace/v1";
+
+/** Validate traces; returns one message per violation (empty = ok). */
+std::vector<std::string> validateTraceSchema(
+    const std::vector<QueryTrace> &traces);
+std::vector<std::string> validateTraceSchema(
+    const std::deque<QueryTrace> &traces);
+
+} // namespace erec::obs

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "elasticrec/common/units.h"
+#include "elasticrec/obs/trace_context.h"
 
 namespace erec::rpc {
 
@@ -25,6 +26,14 @@ struct GatherRequest
 {
     std::uint32_t numIndices = 0;
     std::uint32_t numOffsets = 0;
+    /**
+     * Propagated trace context (16 bytes: trace id + span id). Rides
+     * inside kMessageHeaderBytes — real tracing systems carry the
+     * context in existing HTTP/2 metadata (W3C traceparent fits in the
+     * 96-byte framing budget) — so wireBytes() is deliberately
+     * unchanged and simulated timing is identical traced or not.
+     */
+    obs::TraceContext trace = {};
 
     Bytes
     wireBytes() const

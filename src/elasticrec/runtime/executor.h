@@ -18,6 +18,13 @@
  *    shard order, so per-query outputs stay bit-identical to serial
  *    mode. Only cross-query interleaving (stat counter ordering, batch
  *    composition) is scheduling-dependent.
+ *  - Causal tracing inherits both halves: span ids are slot-derived
+ *    from TraceContext (never from a counter) and sampling follows
+ *    submission order, so the canonical span forest of a traced run
+ *    is byte-identical between serial and concurrent mode. Because a
+ *    pump worker's nested parallelFor() degrades inline, only pump
+ *    threads and the caller ever record spans — the recorder's
+ *    per-thread ring count stays bounded by workers + 1.
  *
  * Nesting: parallelFor() called from a pool worker (e.g. a query
  * batch handler fanning out per-shard gathers) degrades to inline

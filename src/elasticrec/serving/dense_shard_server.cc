@@ -38,6 +38,24 @@ struct ServeScratch
 
 thread_local ServeScratch t_scratch;
 
+// Interned once at static-init time; hot-path records carry the ids.
+const obs::NameId kMlpBottomName =
+    obs::internSpanName("serving/mlp_bottom");
+const obs::NameId kRpcGatherName = obs::internSpanName("rpc/gather");
+
+/** Child slots under the serving/serve span: slot 0 = bottom MLP,
+ *  slot 1+j = gather job j. Slots above the encoding's 254-child
+ *  budget are not recorded (they would alias); real configurations
+ *  stay far below it. */
+constexpr unsigned kMlpBottomSlot = 0;
+constexpr unsigned kMaxGatherSlots = 253;
+
+constexpr std::uint64_t
+gatherArg(std::uint32_t table, std::uint32_t shard)
+{
+    return (static_cast<std::uint64_t>(table) << 16) | shard;
+}
+
 } // namespace
 
 DenseShardServer::DenseShardServer(
@@ -73,16 +91,25 @@ DenseShardServer::attachExecutor(
     executor_ = std::move(executor);
 }
 
+void
+DenseShardServer::attachRecorder(
+    std::shared_ptr<obs::FlightRecorder> recorder)
+{
+    recorder_ = std::move(recorder);
+}
+
 std::vector<float>
 DenseShardServer::serve(const std::vector<float> &dense_in,
                         const std::vector<workload::SparseLookup> &lookups,
-                        std::size_t batch) const
+                        std::size_t batch,
+                        const obs::TraceContext &ctx) const
 {
     const auto &config = dlrm_->config();
     ERC_CHECK(lookups.size() == config.numTables,
               "need one lookup set per table");
     const std::uint32_t dim = config.embeddingDim;
     served_.fetch_add(1, std::memory_order_relaxed);
+    const bool traced = recorder_ != nullptr && ctx.sampled();
 
     // Arena-style per-thread scratch (refit to this model's table
     // count each call): allocation-free once warm.
@@ -108,12 +135,30 @@ DenseShardServer::serve(const std::vector<float> &dense_in,
         s.parts.resize(s.jobs.size()); // ERC_HOT_PATH_ALLOW("refit to job count; no-op for a warm thread")
         executor_->parallelFor(s.jobs.size() + 1, [&](std::size_t i) {
             if (i == 0) {
+                const std::int64_t t0 =
+                    traced ? recorder_->nowUs() : 0;
                 bottom = dlrm_->runBottom(dense_in, batch, *backend_);
+                if (traced)
+                    recorder_->recordSpan(ctx.child(kMlpBottomSlot),
+                                          kMlpBottomName, t0,
+                                          recorder_->nowUs());
                 return;
             }
             const GatherJob &job = s.jobs[i - 1];
+            // Gather job j gets child slot 1 + j, mirroring the serial
+            // path's enumeration exactly: the same query produces the
+            // same span ids under any worker count.
+            const bool span = traced && i - 1 < kMaxGatherSlots;
+            const obs::TraceContext rpc =
+                span ? ctx.child(1 + static_cast<unsigned>(i - 1))
+                     : obs::TraceContext{};
+            const std::int64_t t0 = span ? recorder_->nowUs() : 0;
             shards_[job.table][job.shard]->gatherInto(
-                s.buckets[job.table][job.shard], &s.parts[i - 1]);
+                s.buckets[job.table][job.shard], &s.parts[i - 1], rpc);
+            if (span)
+                recorder_->recordSpan(rpc, kRpcGatherName, t0,
+                                      recorder_->nowUs(),
+                                      gatherArg(job.table, job.shard));
         });
         for (std::uint32_t t = 0; t < config.numTables; ++t)
             s.pooled[t].assign(batch * dim, 0.0f);
@@ -130,19 +175,40 @@ DenseShardServer::serve(const std::vector<float> &dense_in,
     // the same order as the pre-executor code.
     // (1) Bottom MLP runs concurrently with the gather RPCs in the real
     // system; functionally it is just computed first here.
-    bottom = dlrm_->runBottom(dense_in, batch, *backend_);
+    {
+        const std::int64_t t0 = traced ? recorder_->nowUs() : 0;
+        bottom = dlrm_->runBottom(dense_in, batch, *backend_);
+        if (traced)
+            recorder_->recordSpan(ctx.child(kMlpBottomSlot),
+                                  kMlpBottomName, t0,
+                                  recorder_->nowUs());
+    }
 
     // (2)+(3) Bucketize, gather from every shard, and merge. Sum
     // pooling distributes over the shard partition, so the per-table
     // pooled output is the elementwise sum of the shard responses.
+    // Non-empty shards are visited in the same (table, shard) order the
+    // concurrent path enumerates its jobs, so gather span slots match.
+    std::size_t gather_slot = 0;
     for (std::uint32_t t = 0; t < config.numTables; ++t) {
         bucketizers_[t].bucketizeInto(lookups[t], &s.serialBuckets);
         s.pooled[t].assign(batch * dim, 0.0f);
         for (std::uint32_t sh = 0; sh < s.serialBuckets.size(); ++sh) {
             if (s.serialBuckets[sh].indices.empty())
                 continue; // No gathers land in this shard: skip the RPC.
+            const bool span = traced && gather_slot < kMaxGatherSlots;
+            const obs::TraceContext rpc =
+                span ? ctx.child(
+                           1 + static_cast<unsigned>(gather_slot))
+                     : obs::TraceContext{};
+            const std::int64_t t0 = span ? recorder_->nowUs() : 0;
             shards_[t][sh]->gatherInto(s.serialBuckets[sh],
-                                       &s.serialPart);
+                                       &s.serialPart, rpc);
+            if (span)
+                recorder_->recordSpan(rpc, kRpcGatherName, t0,
+                                      recorder_->nowUs(),
+                                      gatherArg(t, sh));
+            ++gather_slot;
             for (std::size_t i = 0; i < s.pooled[t].size(); ++i)
                 s.pooled[t][i] += s.serialPart[i];
         }
@@ -157,7 +223,7 @@ DenseShardServer::serve(const workload::Query &query) const
 {
     const auto dense_in =
         dlrm_->syntheticDenseInput(query.id, query.batchSize);
-    return serve(dense_in, query.lookups, query.batchSize);
+    return serve(dense_in, query.lookups, query.batchSize, query.trace);
 }
 
 } // namespace erec::serving

@@ -24,6 +24,7 @@
 #include "elasticrec/common/hotpath.h"
 #include "elasticrec/core/bucketizer.h"
 #include "elasticrec/model/dlrm.h"
+#include "elasticrec/obs/flight_recorder.h"
 #include "elasticrec/runtime/executor.h"
 #include "elasticrec/serving/sparse_shard_server.h"
 #include "elasticrec/workload/query_generator.h"
@@ -62,9 +63,11 @@ class DenseShardServer
     std::vector<float>
     serve(const std::vector<float> &dense_in,
           const std::vector<workload::SparseLookup> &lookups,
-          std::size_t batch) const;
+          std::size_t batch,
+          const obs::TraceContext &ctx = {}) const;
 
-    /** Serve a generated query using synthetic dense features. */
+    /** Serve a generated query using synthetic dense features; the
+     *  query's propagated TraceContext scopes any recorded spans. */
     ERC_HOT_PATH
     std::vector<float> serve(const workload::Query &query) const;
 
@@ -78,6 +81,15 @@ class DenseShardServer
      * and must happen before serving starts.
      */
     void attachExecutor(std::shared_ptr<runtime::Executor> executor);
+
+    /**
+     * Attach a flight recorder: traced serve() calls record the
+     * bottom-MLP span and one `rpc/gather` span per non-empty shard
+     * gather under the caller's serve span, with deterministic
+     * slot-derived span ids (identical job enumeration on the serial
+     * and concurrent paths). Not thread-safe; attach before serving.
+     */
+    void attachRecorder(std::shared_ptr<obs::FlightRecorder> recorder);
 
     const model::Dlrm &model() const { return *dlrm_; }
 
@@ -93,6 +105,7 @@ class DenseShardServer
     std::vector<std::vector<std::shared_ptr<SparseShardServer>>> shards_;
     const kernels::KernelBackend *backend_;
     std::shared_ptr<runtime::Executor> executor_;
+    std::shared_ptr<obs::FlightRecorder> recorder_;
     mutable std::atomic<std::uint64_t> served_{0};
 };
 

@@ -5,6 +5,13 @@
 
 namespace erec::serving {
 
+namespace {
+
+const obs::NameId kMonoForwardName =
+    obs::internSpanName("mono/forward");
+
+} // namespace
+
 MonolithicServer::MonolithicServer(std::shared_ptr<const model::Dlrm> dlrm,
                                    const kernels::KernelBackend *backend)
     : dlrm_(std::move(dlrm)),
@@ -13,13 +20,27 @@ MonolithicServer::MonolithicServer(std::shared_ptr<const model::Dlrm> dlrm,
     ERC_CHECK(dlrm_ != nullptr, "null model");
 }
 
+void
+MonolithicServer::attachRecorder(
+    std::shared_ptr<obs::FlightRecorder> recorder)
+{
+    recorder_ = std::move(recorder);
+}
+
 std::vector<float>
 MonolithicServer::serve(const std::vector<float> &dense_in,
                         const std::vector<workload::SparseLookup> &lookups,
-                        std::size_t batch) const
+                        std::size_t batch,
+                        const obs::TraceContext &ctx) const
 {
     served_.fetch_add(1, std::memory_order_relaxed);
-    return dlrm_->forward(dense_in, lookups, batch, *backend_);
+    const bool traced = recorder_ != nullptr && ctx.sampled();
+    const std::int64_t t0 = traced ? recorder_->nowUs() : 0;
+    auto out = dlrm_->forward(dense_in, lookups, batch, *backend_);
+    if (traced)
+        recorder_->recordSpan(ctx.child(0), kMonoForwardName, t0,
+                              recorder_->nowUs());
+    return out;
 }
 
 std::vector<float>
@@ -27,7 +48,7 @@ MonolithicServer::serve(const workload::Query &query) const
 {
     const auto dense_in =
         dlrm_->syntheticDenseInput(query.id, query.batchSize);
-    return serve(dense_in, query.lookups, query.batchSize);
+    return serve(dense_in, query.lookups, query.batchSize, query.trace);
 }
 
 Bytes

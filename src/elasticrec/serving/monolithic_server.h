@@ -14,6 +14,7 @@
 
 #include "elasticrec/common/hotpath.h"
 #include "elasticrec/model/dlrm.h"
+#include "elasticrec/obs/flight_recorder.h"
 #include "elasticrec/workload/query_generator.h"
 
 namespace erec::serving {
@@ -39,11 +40,19 @@ class MonolithicServer
     std::vector<float>
     serve(const std::vector<float> &dense_in,
           const std::vector<workload::SparseLookup> &lookups,
-          std::size_t batch) const;
+          std::size_t batch,
+          const obs::TraceContext &ctx = {}) const;
 
     /** Serve a generated query using synthetic dense features. */
     ERC_HOT_PATH
     std::vector<float> serve(const workload::Query &query) const;
+
+    /**
+     * Attach a flight recorder: traced serve() calls record a single
+     * `mono/forward` span under the caller's serve span. Not
+     * thread-safe; attach before serving starts.
+     */
+    void attachRecorder(std::shared_ptr<obs::FlightRecorder> recorder);
 
     /** Memory footprint of this server's parameters. */
     Bytes memBytes() const;
@@ -59,6 +68,7 @@ class MonolithicServer
 
   private:
     std::shared_ptr<const model::Dlrm> dlrm_;
+    std::shared_ptr<obs::FlightRecorder> recorder_;
     const kernels::KernelBackend *backend_;
     mutable std::atomic<std::uint64_t> served_{0};
 };

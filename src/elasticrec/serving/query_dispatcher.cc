@@ -19,11 +19,22 @@ dispatcherPumpRegion()
     return region;
 }
 
+// Interned once at static-init time; hot-path records carry the ids.
+const obs::NameId kQuerySpanName = obs::internSpanName("serving/query");
+const obs::NameId kQueueSpanName = obs::internSpanName("serving/queue");
+const obs::NameId kServeSpanName = obs::internSpanName("serving/serve");
+const obs::NameId kBatchSpanName = obs::internSpanName("serving/batch");
+const obs::NameId kBatchLinkName =
+    obs::internSpanName("serving/batch_link");
+
 } // namespace
 
 QueryDispatcher::QueryDispatcher(
-    ServeFn serve, std::shared_ptr<runtime::Executor> executor)
+    ServeFn serve, std::shared_ptr<runtime::Executor> executor,
+    std::shared_ptr<obs::FlightRecorder> recorder)
     : serve_(std::move(serve)), executor_(std::move(executor)),
+      recorder_(std::move(recorder)),
+      tracing_(recorder_ != nullptr && recorder_->enabled()),
       batchHist_(executor_ == nullptr ? 1
                                       : executor_->options().maxBatchSize)
 {
@@ -51,18 +62,30 @@ std::future<std::vector<float>>
 QueryDispatcher::submit(workload::Query query)
 {
     ERC_CHECK(!drained_.load(), "submit() on a drained dispatcher");
+    Job job{std::move(query), {}, 0};
+    if (tracing_) {
+        // Deterministic every-Nth sampling in submission order: the
+        // same queries are sampled whether the stack runs serial or
+        // concurrent, which the byte-identical span-tree gate needs.
+        job.query.trace = recorder_->maybeStartTrace();
+        if (job.query.trace.sampled())
+            job.submitUs = recorder_->nowUs();
+    }
+    auto future = job.result.get_future();
     if (queue_ == nullptr) {
         // Serial: serve inline on the caller's thread, byte-identical
-        // to calling the serve function directly.
-        Job job{std::move(query), {}};
-        auto future = job.result.get_future();
+        // to calling the serve function directly. The queue span is
+        // recorded zero-width so serial and concurrent runs build the
+        // same tree shape.
+        if (job.query.trace.sampled())
+            recorder_->recordSpan(job.query.trace.child(kQueueSlot),
+                                  kQueueSpanName, job.submitUs,
+                                  job.submitUs);
         serveJob(&job);
         batchesServed_.fetch_add(1, std::memory_order_relaxed);
         batchHist_[0].fetch_add(1, std::memory_order_relaxed);
         return future;
     }
-    Job job{std::move(query), {}};
-    auto future = job.result.get_future();
     const bool accepted = queue_->push(std::move(job));
     ERC_ASSERT(accepted, "open dispatcher queue rejected a query");
     return future;
@@ -145,17 +168,37 @@ QueryDispatcher::publishStats(obs::Registry &registry,
 void
 QueryDispatcher::serveJob(Job *job)
 {
+    const obs::TraceContext root = job->query.trace;
+    std::int64_t serve_start = 0;
+    if (root.sampled()) {
+        // The serve function sees the serve-span context, so shard
+        // servers hang their gather/MLP spans under serving/serve.
+        job->query.trace = root.child(kServeSlot);
+        serve_start = recorder_->nowUs();
+    }
     try {
         job->result.set_value(serve_(job->query));
     } catch (...) {
         job->result.set_exception(std::current_exception());
     }
     queriesServed_.fetch_add(1, std::memory_order_relaxed);
+    if (root.sampled()) {
+        const std::int64_t end_us = recorder_->nowUs();
+        recorder_->recordSpan(root.child(kServeSlot), kServeSpanName,
+                              serve_start, end_us);
+        recorder_->recordSpan(root, kQuerySpanName, job->submitUs,
+                              end_us);
+    }
 }
 
 void
 QueryDispatcher::pumpLoop()
 {
+    // Pre-register this pump worker's span ring while startup
+    // allocation is still fair game: the steady loop below records
+    // into the ring without ever touching the registration slow path.
+    if (tracing_)
+        recorder_->registerThisThread();
     // One batch buffer per pump worker, reused for the worker's whole
     // lifetime: after the first pop its capacity is maxBatchSize and
     // the steady loop performs zero allocations.
@@ -171,8 +214,36 @@ QueryDispatcher::pumpLoop()
         }
         if (batch.empty())
             return; // Queue closed and drained.
+        // Close the members' queue spans and open one batch trace
+        // with a fan-in link per sampled member: the causal record of
+        // "these N queries were coalesced and served together".
+        std::size_t sampled = 0;
+        obs::TraceContext batch_ctx;
+        std::int64_t pop_us = 0;
+        if (tracing_) {
+            for (const Job &job : batch)
+                if (job.query.trace.sampled())
+                    ++sampled;
+            if (sampled > 0) {
+                pop_us = recorder_->nowUs();
+                batch_ctx = recorder_->startBatchTrace();
+                for (const Job &job : batch) {
+                    if (!job.query.trace.sampled())
+                        continue;
+                    recorder_->recordSpan(
+                        job.query.trace.child(kQueueSlot),
+                        kQueueSpanName, job.submitUs, pop_us);
+                    recorder_->recordLink(batch_ctx, kBatchLinkName,
+                                          job.query.trace.traceId,
+                                          pop_us);
+                }
+            }
+        }
         for (auto &job : batch)
             serveJob(&job);
+        if (sampled > 0)
+            recorder_->recordSpan(batch_ctx, kBatchSpanName, pop_us,
+                                  recorder_->nowUs(), batch.size());
         const AllocGate gate(dispatcherPumpRegion());
         batchesServed_.fetch_add(1, std::memory_order_relaxed);
         const std::size_t bin =

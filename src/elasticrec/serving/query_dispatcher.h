@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "elasticrec/common/hotpath.h"
+#include "elasticrec/obs/flight_recorder.h"
 #include "elasticrec/obs/metric.h"
 #include "elasticrec/runtime/batch_queue.h"
 #include "elasticrec/runtime/executor.h"
@@ -48,9 +49,19 @@ class QueryDispatcher
      *        several pool workers; it must be thread-safe.
      * @param executor Supplies the worker pool and the batching knobs
      *        (maxBatchSize / maxBatchDelayUs / queueCapacity).
+     * @param recorder Optional flight recorder: when set and enabled,
+     *        submit() samples queries deterministically (every Nth)
+     *        and the dispatcher emits the causal span skeleton —
+     *        serving/query root, serving/queue wait, serving/serve —
+     *        plus one batch trace per coalesced batch with fan-in
+     *        links to its sampled members. The sampled TraceContext
+     *        rides in Query::trace so shard servers append their own
+     *        child spans.
      */
     QueryDispatcher(ServeFn serve,
-                    std::shared_ptr<runtime::Executor> executor);
+                    std::shared_ptr<runtime::Executor> executor,
+                    std::shared_ptr<obs::FlightRecorder> recorder =
+                        nullptr);
 
     /** Drains every queued query before returning. */
     ~QueryDispatcher();
@@ -91,11 +102,18 @@ class QueryDispatcher
     void publishStats(obs::Registry &registry,
                       const obs::Labels &labels = {}) const;
 
+    /** Child slots of the serving/query root span (see DESIGN.md
+     *  section 12): slot 0 = queue wait, slot 1 = serve. */
+    static constexpr unsigned kQueueSlot = 0;
+    static constexpr unsigned kServeSlot = 1;
+
   private:
     struct Job
     {
         workload::Query query;
         std::promise<std::vector<float>> result;
+        /** Recorder timestamp of submit(); closes the queue span. */
+        std::int64_t submitUs = 0;
     };
 
     void serveJob(Job *job);
@@ -104,6 +122,9 @@ class QueryDispatcher
 
     ServeFn serve_;
     std::shared_ptr<runtime::Executor> executor_;
+    std::shared_ptr<obs::FlightRecorder> recorder_;
+    /** recorder_ set and sampling on; checked on every hot path. */
+    bool tracing_ = false;
     std::unique_ptr<runtime::BatchQueue<Job>> queue_;
     std::vector<std::future<void>> pumps_;
     std::atomic<bool> drained_{false};

@@ -17,6 +17,7 @@
 
 #include "elasticrec/common/hotpath.h"
 #include "elasticrec/embedding/sharded_table.h"
+#include "elasticrec/obs/flight_recorder.h"
 #include "elasticrec/workload/query_generator.h"
 
 namespace erec::serving {
@@ -56,7 +57,16 @@ class SparseShardServer
      */
     ERC_HOT_PATH
     void gatherInto(const workload::SparseLookup &local_lookup,
-                    std::vector<float> *pooled) const;
+                    std::vector<float> *pooled,
+                    const obs::TraceContext &ctx = {}) const;
+
+    /**
+     * Attach a flight recorder: traced gather calls (sampled ctx)
+     * record a `sparse/gather` service span under the caller's RPC
+     * span, tagged with this shard's id. Not thread-safe; attach
+     * before serving starts.
+     */
+    void attachRecorder(std::shared_ptr<obs::FlightRecorder> recorder);
 
     /** Total rows gathered by this server so far (load accounting). */
     std::uint64_t rowsGathered() const
@@ -68,6 +78,7 @@ class SparseShardServer
     std::shared_ptr<const embedding::ShardedTable> table_;
     std::uint32_t shardId_;
     const kernels::KernelBackend *backend_;
+    std::shared_ptr<obs::FlightRecorder> recorder_;
     mutable std::atomic<std::uint64_t> rowsGathered_{0};
 };
 

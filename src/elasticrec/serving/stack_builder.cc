@@ -65,6 +65,12 @@ buildElasticRecStack(std::shared_ptr<const model::Dlrm> dlrm,
 
     ElasticRecStack stack;
     stack.observability = options.observability;
+    if (options.traceSampleEvery > 0) {
+        obs::FlightRecorderOptions ropts;
+        ropts.sampleEvery = options.traceSampleEvery;
+        ropts.ringCapacity = options.traceRingCapacity;
+        stack.recorder = std::make_shared<obs::FlightRecorder>(ropts);
+    }
     // One backend handle serves the whole stack: every sparse shard's
     // gathers and the frontend's GEMMs resolve here, once, so a
     // misconfigured name fails at build time rather than mid-query.
@@ -86,6 +92,8 @@ buildElasticRecStack(std::shared_ptr<const model::Dlrm> dlrm,
         for (std::uint32_t s = 0; s < sharded->numShards(); ++s) {
             auto server = std::make_shared<SparseShardServer>(
                 sharded, s, stack.kernelBackend);
+            if (stack.recorder != nullptr)
+                server->attachRecorder(stack.recorder);
             if (options.observability != nullptr) {
                 options.observability
                     ->gauge("erec_shard_rows",
@@ -104,6 +112,8 @@ buildElasticRecStack(std::shared_ptr<const model::Dlrm> dlrm,
     }
     stack.frontend = std::make_shared<DenseShardServer>(
         dlrm, std::move(bucketizers), stack.shards, stack.kernelBackend);
+    if (stack.recorder != nullptr)
+        stack.frontend->attachRecorder(stack.recorder);
     if (options.executor != nullptr) {
         stack.executor = options.executor;
         stack.frontend->attachExecutor(stack.executor);
@@ -112,7 +122,7 @@ buildElasticRecStack(std::shared_ptr<const model::Dlrm> dlrm,
             [frontend](const workload::Query &q) {
                 return frontend->serve(q);
             },
-            stack.executor);
+            stack.executor, stack.recorder);
     }
     return stack;
 }

@@ -60,6 +60,17 @@ struct StackOptions
      * Outputs are bit-identical across backends either way.
      */
     std::string kernelBackend = {};
+    /**
+     * Causal tracing: sample every Nth submitted query into the
+     * flight recorder (0 disables tracing entirely). When > 0 the
+     * builder creates a FlightRecorder, attaches it to the frontend
+     * and every sparse shard server, and hands it to the dispatcher,
+     * which starts trace contexts at submit(). Drain the recorder via
+     * ElasticRecStack::recorder after serving to build span trees.
+     */
+    std::uint64_t traceSampleEvery = 0;
+    /** Per-thread span ring capacity when tracing is on. */
+    std::size_t traceRingCapacity = 4096;
 };
 
 /** A fully wired in-process ElasticRec deployment. */
@@ -76,6 +87,8 @@ struct ElasticRecStack
     std::shared_ptr<QueryDispatcher> dispatcher = {};
     /** The kernel backend the whole stack resolved to (never null). */
     const kernels::KernelBackend *kernelBackend = nullptr;
+    /** Flight recorder; non-null iff traceSampleEvery > 0. */
+    std::shared_ptr<obs::FlightRecorder> recorder = {};
 
     /**
      * Submit one query through the dispatcher (requires

@@ -19,7 +19,48 @@ struct QueryCtx
     SimTime lastDone = 0;
     /** Non-null when this query was sampled for tracing. */
     obs::QueryTrace *trace = nullptr;
+    /** Root span context of the sampled query (zero when untraced). */
+    obs::TraceContext root;
 };
+
+// Interned once at static-init time; trace records carry the ids.
+const obs::NameId kQueryName = obs::internSpanName("query");
+const obs::NameId kMonoQueueName = obs::internSpanName("mono/queue");
+const obs::NameId kMonoServiceName =
+    obs::internSpanName("mono/service");
+const obs::NameId kDenseQueueName = obs::internSpanName("dense/queue");
+const obs::NameId kDenseComputeName =
+    obs::internSpanName("dense/compute");
+
+/** Child slots under the root query span. Sparse deployment k owns
+ *  the (2 + 2k, 3 + 2k) request/response pair, so every traced query
+ *  of one plan produces the same structural span ids. */
+constexpr unsigned kMonoQueueSlot = 0;
+constexpr unsigned kMonoServiceSlot = 1;
+constexpr unsigned kDenseQueueSlot = 0;
+constexpr unsigned kDenseComputeSlot = 1;
+
+constexpr unsigned
+sparseRequestSlot(unsigned ordinal)
+{
+    return 2 + 2 * ordinal;
+}
+
+constexpr unsigned
+sparseResponseSlot(unsigned ordinal)
+{
+    return 3 + 2 * ordinal;
+}
+
+/** Record one causal span: the context's structural id fixes its
+ *  position in the trace's span tree. */
+void
+addCtxSpan(obs::QueryTrace *trace, const obs::TraceContext &ctx,
+           obs::NameId name, SimTime start, SimTime end)
+{
+    trace->addSpan(name, start, end, ctx.spanId,
+                   obs::parentSpanId(ctx.spanId));
+}
 
 obs::Labels
 podLabels(const std::string &deployment, std::uint64_t pod_id)
@@ -52,6 +93,7 @@ ClusterSimulation::ClusterSimulation(core::DeploymentPlan plan,
                                   "Queries arrived at the frontend.");
     const double initial_qps = traffic_.qpsAt(0);
 
+    unsigned sparseCount = 0;
     for (const auto &spec : plan_.shards) {
         DeploymentState ds;
         const std::uint32_t initial =
@@ -103,6 +145,15 @@ ClusterSimulation::ClusterSimulation(core::DeploymentPlan plan,
             options_.seed ^ std::hash<std::string>{}(spec.name));
 
         if (spec.kind == core::ShardKind::SparseEmbedding) {
+            ds.nameRpcRequest =
+                obs::internSpanName("rpc/" + spec.name + "/request");
+            ds.nameRpcResponse =
+                obs::internSpanName("rpc/" + spec.name + "/response");
+            ds.nameSparseQueue =
+                obs::internSpanName("sparse/" + spec.name + "/queue");
+            ds.nameSparseService =
+                obs::internSpanName("sparse/" + spec.name + "/service");
+            ds.sparseOrdinal = sparseCount++;
             rpc::GatherRequest req;
             req.numIndices = static_cast<std::uint32_t>(
                 std::ceil(spec.expectedGathers));
@@ -349,18 +400,27 @@ ClusterSimulation::startQuery()
     // and untraced runs play out identically.
     obs::QueryTrace *trace = tracer_.maybeSample(arrival);
 
+    const obs::TraceContext root =
+        trace != nullptr
+            ? obs::TraceContext{trace->traceId, obs::kRootSpanId}
+            : obs::TraceContext{};
+
     if (monolithic) {
         WorkItem item;
         item.jitter = jitter();
         std::shared_ptr<SimTime> svc_start;
         if (trace != nullptr) {
+            item.trace = root;
             svc_start = std::make_shared<SimTime>(arrival);
-            item.onStart = [trace, arrival, svc_start](SimTime start) {
+            item.onStart = [trace, root, arrival,
+                            svc_start](SimTime start) {
                 *svc_start = start;
-                trace->addSpan("mono/queue", arrival, start);
+                addCtxSpan(trace, root.child(kMonoQueueSlot),
+                           kMonoQueueName, arrival, start);
             };
         }
-        item.onDone = [this, arrival, trace, svc_start](SimTime done) {
+        item.onDone = [this, arrival, trace, root,
+                       svc_start](SimTime done) {
             const SimTime latency = done - arrival;
             metrics_.recordCompletion(frontendName_, done, latency);
             latencyAll_.add(units::toMillis(latency));
@@ -370,7 +430,9 @@ ClusterSimulation::startQuery()
                 ++result_.slaViolations;
             }
             if (trace != nullptr) {
-                trace->addSpan("mono/service", *svc_start, done);
+                addCtxSpan(trace, root.child(kMonoServiceSlot),
+                           kMonoServiceName, *svc_start, done);
+                addCtxSpan(trace, root, kQueryName, arrival, done);
                 tracer_.finish(trace, done);
             }
         };
@@ -385,6 +447,7 @@ ClusterSimulation::startQuery()
     auto ctx = std::make_shared<QueryCtx>();
     ctx->arrival = arrival;
     ctx->trace = trace;
+    ctx->root = root;
     ctx->outstanding = 1; // dense leg
     for (const auto &name : deploymentOrder_) {
         const auto &ds = deployments_.at(name);
@@ -405,8 +468,11 @@ ClusterSimulation::startQuery()
             metrics_.recordSlaViolation(frontendName_);
             ++result_.slaViolations;
         }
-        if (ctx->trace != nullptr)
+        if (ctx->trace != nullptr) {
+            addCtxSpan(ctx->trace, ctx->root, kQueryName, ctx->arrival,
+                       ctx->lastDone);
             tracer_.finish(ctx->trace, ctx->lastDone);
+        }
     };
 
     // Dense leg: overlaps the bottom-MLP compute with the gathers.
@@ -414,14 +480,19 @@ ClusterSimulation::startQuery()
         WorkItem item;
         item.jitter = jitter();
         if (ctx->trace != nullptr) {
+            item.trace = root.child(kDenseComputeSlot);
             auto svc_start = std::make_shared<SimTime>(arrival);
             item.onStart = [ctx, arrival, svc_start](SimTime start) {
                 *svc_start = start;
-                ctx->trace->addSpan("dense/queue", arrival, start);
+                addCtxSpan(ctx->trace,
+                           ctx->root.child(kDenseQueueSlot),
+                           kDenseQueueName, arrival, start);
             };
             item.onDone = [ctx, svc_start,
                            component_done](SimTime done) {
-                ctx->trace->addSpan("dense/compute", *svc_start, done);
+                addCtxSpan(ctx->trace,
+                           ctx->root.child(kDenseComputeSlot),
+                           kDenseComputeName, *svc_start, done);
                 component_done(done);
             };
         } else {
@@ -445,28 +516,35 @@ ClusterSimulation::startQuery()
             WorkItem item;
             item.jitter = jitter();
             std::shared_ptr<SimTime> svc_start;
+            // The RPC leg's context rides on the work item exactly as
+            // the functional stack propagates it in the GatherRequest
+            // header; shard-side spans hang under the request span.
+            const obs::TraceContext rpc =
+                ctx->root.child(sparseRequestSlot(ds.sparseOrdinal));
             if (ctx->trace != nullptr) {
+                item.trace = rpc;
                 svc_start = std::make_shared<SimTime>(rpc_arrive);
-                const std::string dep = ds.deployment->name();
-                ctx->trace->addSpan("rpc/" + dep + "/request",
-                                    ctx->arrival, rpc_arrive);
-                item.onStart = [ctx, dep, rpc_arrive,
+                addCtxSpan(ctx->trace, rpc, ds.nameRpcRequest,
+                           ctx->arrival, rpc_arrive);
+                item.onStart = [ctx, &ds, rpc, rpc_arrive,
                                 svc_start](SimTime start) {
                     *svc_start = start;
-                    ctx->trace->addSpan("sparse/" + dep + "/queue",
-                                        rpc_arrive, start);
+                    addCtxSpan(ctx->trace, rpc.child(0),
+                               ds.nameSparseQueue, rpc_arrive, start);
                 };
             }
-            item.onDone = [this, &ds, back, component_done, ctx,
+            item.onDone = [this, &ds, back, component_done, ctx, rpc,
                            svc_start](SimTime done) {
                 metrics_.recordCompletion(ds.deployment->name(), done,
                                           0);
                 if (ctx->trace != nullptr) {
-                    const std::string dep = ds.deployment->name();
-                    ctx->trace->addSpan("sparse/" + dep + "/service",
-                                        *svc_start, done);
-                    ctx->trace->addSpan("rpc/" + dep + "/response",
-                                        done, done + back);
+                    addCtxSpan(ctx->trace, rpc.child(1),
+                               ds.nameSparseService, *svc_start, done);
+                    addCtxSpan(
+                        ctx->trace,
+                        ctx->root.child(
+                            sparseResponseSlot(ds.sparseOrdinal)),
+                        ds.nameRpcResponse, done, done + back);
                 }
                 reapDrained(ds);
                 queue_.schedule(done + back,

@@ -191,6 +191,16 @@ class ClusterSimulation
         /** Wire bytes of one request/response to this deployment. */
         Bytes requestBytes = 0;
         Bytes responseBytes = 0;
+        /** Causal span names ("rpc/<dep>/request", ...), interned once
+         *  at construction so traced queries record ids, never build
+         *  strings. Sparse deployments only. */
+        obs::NameId nameRpcRequest = obs::kInvalidNameId;
+        obs::NameId nameRpcResponse = obs::kInvalidNameId;
+        obs::NameId nameSparseQueue = obs::kInvalidNameId;
+        obs::NameId nameSparseService = obs::kInvalidNameId;
+        /** Ordinal among the plan's sparse deployments; fixes this
+         *  deployment's child-slot pair under the root query span. */
+        unsigned sparseOrdinal = 0;
         // Exported telemetry handles (owned by obs_).
         obs::Counter *obsColdStarts = nullptr;
         obs::Gauge *obsQueueDepth = nullptr;

@@ -22,6 +22,7 @@
 #include <functional>
 #include <vector>
 
+#include "elasticrec/obs/trace_context.h"
 #include "elasticrec/sim/event_queue.h"
 
 namespace erec::sim {
@@ -39,6 +40,11 @@ struct WorkItem
 {
     /** Multiplicative service-time jitter (1.0 = nominal). */
     double jitter = 1.0;
+    /** Causal trace context this item runs under; zero for untraced
+     *  work. Pods don't record spans themselves — the context rides
+     *  along so dispatch callbacks can scope what they record, exactly
+     *  like the RPC-header propagation in the functional stack. */
+    obs::TraceContext trace = {};
     /** Invoked when the first stage starts serving (queue exit). Used
      *  by tracing to split queueing delay from service time; null for
      *  untraced work. */

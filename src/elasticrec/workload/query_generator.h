@@ -16,6 +16,7 @@
 
 #include "elasticrec/common/rng.h"
 #include "elasticrec/common/units.h"
+#include "elasticrec/obs/trace_context.h"
 #include "elasticrec/kernels/kernel_backend.h"
 #include "elasticrec/workload/access_distribution.h"
 
@@ -50,6 +51,11 @@ struct Query
     std::uint64_t id = 0;
     SimTime arrival = 0;
     std::uint32_t batchSize = 0;
+    /** Causal trace context stamped by the sampling dispatcher and
+     *  propagated through queues and shard-server calls — the moral
+     *  equivalent of a traceparent header on the request. Unsampled
+     *  queries carry the zero context and record nothing. */
+    obs::TraceContext trace;
     /** One lookup set per embedding table. */
     std::vector<SparseLookup> lookups;
 

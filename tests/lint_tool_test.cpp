@@ -450,6 +450,66 @@ TEST(LintToolTest, HotPathAllowRequiresReason)
         "hot-path-annotation"));
 }
 
+TEST(LintToolTest, TraceNameLiteralCatchesStringSpanNames)
+{
+    // Inline literal on a record call in library code: flagged.
+    EXPECT_TRUE(hasRule(
+        lintContent("src/elasticrec/serving/a.cc",
+                    "namespace erec {\nvoid f(R *r, Ctx c) {\n"
+                    "  r->recordSpan(c, \"serving/forward\", 0, 1);\n"
+                    "}\n}\n"),
+        "trace-name-literal"));
+    // std::string temporary selects the legacy allocating overload.
+    EXPECT_TRUE(hasRule(
+        lintContent("src/elasticrec/sim/a.cc",
+                    "namespace erec {\nvoid f(T *t) {\n"
+                    "  t->addSpan(std::string(\"queue\"), 0, 1);\n"
+                    "}\n}\n"),
+        "trace-name-literal"));
+    // Formatter-wrapped call: the literal lands on a continuation line.
+    EXPECT_TRUE(hasRule(
+        lintContent("src/elasticrec/sim/a.cc",
+                    "namespace erec {\nvoid f(T *t) {\n"
+                    "  t->addSpan(\n      \"mono/queue\",\n"
+                    "      start, end);\n}\n}\n"),
+        "trace-name-literal"));
+    // Interned NameId argument: clean.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/serving/a.cc",
+                    "namespace erec {\nconst obs::NameId kName =\n"
+                    "    obs::internSpanName(\"serving/forward\");\n"
+                    "void f(R *r, Ctx c) {\n"
+                    "  r->recordSpan(c, kName, 0, 1);\n}\n}\n"),
+        "trace-name-literal"));
+    // A prose mention in a comment can't trip the rule.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/serving/a.cc",
+                    "namespace erec {\n"
+                    "// Call recordSpan(ctx, \"name\", ...) here.\n"
+                    "int x = 0;\n}\n"),
+        "trace-name-literal"));
+    // obs/trace.h declares the legacy string overload itself: exempt.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/obs/trace.h",
+                    "#pragma once\nnamespace erec {\nstruct T {\n"
+                    "  void addSpan(std::string n, int s, int e);\n"
+                    "};\n}\n"),
+        "trace-name-literal"));
+    // Tests and benches may use the string overload freely.
+    EXPECT_FALSE(hasRule(
+        lintContent("tests/a_test.cpp",
+                    "t.addSpan(std::string(\"x\"), 0, 1);\n"),
+        "trace-name-literal"));
+    // Suppressible like every other rule.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/sim/a.cc",
+                    "namespace erec {\nvoid f(T *t) {\n"
+                    "  t->addSpan(std::string(\"q\"), 0, 1); "
+                    "// erec-lint: allow(trace-name-literal)\n"
+                    "}\n}\n"),
+        "trace-name-literal"));
+}
+
 TEST(LintToolTest, DiagnosticsCarryLocation)
 {
     const auto diags = lintContent("src/elasticrec/x/a.cc",

@@ -3,7 +3,8 @@
  * Unit tests for the observability layer: metric registry semantics,
  * histogram bucket boundaries, Prometheus text rendering (escaping,
  * labels, cumulative buckets), trace JSON-lines round-trips and tracer
- * sampling invariants.
+ * sampling invariants, and the erec_trace/v1 schema validator over
+ * causal (span-id-carrying) traces.
  */
 
 #include <gtest/gtest.h>
@@ -13,7 +14,9 @@
 #include "elasticrec/common/error.h"
 #include "elasticrec/obs/export.h"
 #include "elasticrec/obs/metric.h"
+#include "elasticrec/obs/span_name.h"
 #include "elasticrec/obs/trace.h"
+#include "elasticrec/obs/trace_schema.h"
 
 namespace erec::obs {
 namespace {
@@ -286,6 +289,64 @@ TEST(ExportTest, TraceJsonLinesRoundTrip)
     // Writing the parsed traces again is byte-identical.
     std::deque<QueryTrace> again(back.begin(), back.end());
     EXPECT_EQ(toTraceJsonLines(again), text);
+}
+
+TEST(ExportTest, CausalTraceRoundTripKeepsIdsAndValidates)
+{
+    const NameId query = internSpanName("query");
+    const NameId rpc = internSpanName("rpc/t0-s0/request");
+
+    std::deque<QueryTrace> traces;
+    QueryTrace t;
+    t.queryId = 4;
+    t.traceId = 5;
+    t.arrival = 1000;
+    t.completion = 9000;
+    t.completed = true;
+    t.addSpan(query, 1000, 9000, kRootSpanId, 0);
+    t.addSpan(rpc, 1500, 8000, (kRootSpanId << 8) | 3, kRootSpanId);
+    traces.push_back(t);
+
+    // The causal fields survive the JSON-lines round trip.
+    const auto back = readTraceJsonLines(toTraceJsonLines(traces));
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].traceId, 5u);
+    ASSERT_EQ(back[0].spans.size(), 2u);
+    EXPECT_EQ(back[0].spans[0].spanId, kRootSpanId);
+    EXPECT_EQ(back[0].spans[0].parentId, 0u);
+    EXPECT_EQ(back[0].spans[1].spanId, (kRootSpanId << 8) | 3);
+    EXPECT_EQ(back[0].spans[1].parentId, kRootSpanId);
+
+    // And the round-tripped trace satisfies erec_trace/v1.
+    EXPECT_EQ(validateTraceSchema(back), std::vector<std::string>{});
+}
+
+TEST(TraceSchemaTest, FlagsStructuralViolations)
+{
+    std::vector<QueryTrace> traces;
+    QueryTrace t;
+    t.queryId = 1;
+    t.arrival = 100;
+    t.completion = 50; // Completion precedes arrival.
+    t.completed = true;
+    t.addSpan("backwards", 400, 300);             // end < start
+    t.addSpan("late", 500, 600);                  // outlives completion
+    auto &orphan = t.spans.emplace_back();
+    orphan.name = "orphan";
+    orphan.spanId = 99;
+    orphan.parentId = 42; // Parent never recorded; trace is completed.
+    traces.push_back(t);
+
+    const auto errors = validateTraceSchema(traces);
+    EXPECT_GE(errors.size(), 4u);
+
+    // The same dangling parent is legitimate on an *open* trace: the
+    // enclosing spans only close at completion, so mid-flight exports
+    // must not be rejected for them.
+    traces[0].completed = false;
+    traces[0].spans.erase(traces[0].spans.begin()); // Drop end<start.
+    const auto open_errors = validateTraceSchema(traces);
+    EXPECT_EQ(open_errors, std::vector<std::string>{});
 }
 
 TEST(ExportTest, TraceReaderRejectsMalformedInput)

@@ -88,6 +88,93 @@ TEST(AttributeStagesTest, AggregatesNormalizedStages)
     EXPECT_DOUBLE_EQ(report.stages[1].totalMs, 8.0);
 }
 
+TEST(AttributeStagesTest, OpenSpansStayOutOfSketchesButAreCounted)
+{
+    std::vector<QueryTrace> traces;
+    // A completed trace with one closed span and one span that was
+    // still open at export (end precedes start): the open span must
+    // not poison the stage statistics with a bogus duration.
+    auto a = completedTrace(0, 0, 10 * units::kMillisecond);
+    a.addSpan("dense/queue", 0, 2 * units::kMillisecond);
+    a.addSpan("dense/compute", 5 * units::kMillisecond, 0);
+    traces.push_back(a);
+    // A lost trace: every one of its spans is open by definition.
+    QueryTrace lost;
+    lost.queryId = 1;
+    lost.arrival = 50 * units::kMillisecond;
+    lost.addSpan("dense/queue", 50 * units::kMillisecond,
+                 51 * units::kMillisecond);
+    lost.addSpan("rpc/s0/request", 51 * units::kMillisecond,
+                 53 * units::kMillisecond);
+    traces.push_back(lost);
+
+    const auto report = attributeStages(traces);
+    EXPECT_EQ(report.lostTraces, 1u);
+    // 1 open span on the completed trace + 2 on the lost trace.
+    EXPECT_EQ(report.openSpans, 3u);
+    // Only the closed dense/queue span of the completed trace reaches
+    // the sketches: no dense/compute stage, no rpc/request stage, and
+    // exactly one counted span.
+    ASSERT_EQ(report.stages.size(), 1u);
+    EXPECT_EQ(report.stages[0].stage, "dense/queue");
+    EXPECT_EQ(report.stages[0].spans, 1u);
+    EXPECT_DOUBLE_EQ(report.stages[0].totalMs, 2.0);
+}
+
+TEST(CriticalPathTest, FollowsTheChildThatBoundsCompletion)
+{
+    const NameId query = internSpanName("query");
+    const NameId rpc = internSpanName("rpc/s0/request");
+    const NameId service = internSpanName("sparse/s0/service");
+    const NameId dense = internSpanName("dense/compute");
+
+    std::vector<QueryTrace> traces;
+    for (int i = 0; i < 2; ++i) {
+        auto t = completedTrace(static_cast<std::uint64_t>(i), 0,
+                                10 * units::kMillisecond);
+        t.traceId = static_cast<std::uint64_t>(i) + 1;
+        const std::uint64_t rpc_id = (kRootSpanId << 8) | 3;
+        t.addSpan(query, 0, 10 * units::kMillisecond, kRootSpanId, 0);
+        // The gather RPC (ends at 9 ms) bounds completion; dense
+        // compute (5 ms) does not.
+        t.addSpan(rpc, 0, 9 * units::kMillisecond, rpc_id,
+                  kRootSpanId);
+        t.addSpan(service, 2 * units::kMillisecond,
+                  8 * units::kMillisecond, (rpc_id << 8) | 2, rpc_id);
+        t.addSpan(dense, 0, 5 * units::kMillisecond,
+                  (kRootSpanId << 8) | 2, kRootSpanId);
+        traces.push_back(t);
+    }
+    // A lost trace contributes nothing to critical paths.
+    QueryTrace lost;
+    lost.queryId = 9;
+    traces.push_back(lost);
+
+    const auto report = analyzeCriticalPaths(traces);
+    EXPECT_EQ(report.analyzedTraces, 2u);
+    ASSERT_EQ(report.chains.size(), 1u);
+    // Per-deployment segments normalize away, so many-shard runs
+    // aggregate into a handful of readable chains.
+    EXPECT_EQ(report.chains[0].chain,
+              "query > rpc/request > sparse/service");
+    EXPECT_EQ(report.chains[0].count, 2u);
+    EXPECT_DOUBLE_EQ(report.chains[0].meanMs, 10.0);
+}
+
+TEST(CriticalPathTest, FlatLegacyTracesDegradeToOneHop)
+{
+    std::vector<QueryTrace> traces;
+    auto t = completedTrace(0, 0, 10 * units::kMillisecond);
+    t.addSpan("mono/queue", 0, 2 * units::kMillisecond);
+    t.addSpan("mono/service", 2 * units::kMillisecond,
+              9 * units::kMillisecond);
+    traces.push_back(t);
+
+    const auto report = analyzeCriticalPaths(traces);
+    ASSERT_EQ(report.chains.size(), 1u);
+    EXPECT_EQ(report.chains[0].chain, "mono/service");
+}
+
 TEST(AttributeStagesTest, EmptyInputYieldsEmptyReport)
 {
     const auto report = attributeStages(std::vector<QueryTrace>{});
@@ -122,6 +209,12 @@ TEST(ReportRenderTest, SectionsAreSelfDescribing)
     std::ostringstream empty_table;
     writeStageTable(empty_table, attributeStages(std::vector<QueryTrace>{}));
     EXPECT_NE(empty_table.str().find("no completed traces"),
+              std::string::npos);
+
+    std::ostringstream empty_paths;
+    writeCriticalPathTable(empty_paths,
+                           analyzeCriticalPaths(std::vector<QueryTrace>{}));
+    EXPECT_NE(empty_paths.str().find("no completed traces"),
               std::string::npos);
 
     std::ostringstream pass;

@@ -8,7 +8,12 @@
  * format (including histogram invariants); `_alerts.jsonl` files are
  * re-read through the alert-log importer and other `.jsonl` files
  * through the trace importer, both of which reject malformed lines.
- * Exit status is non-zero when any file fails.
+ * Trace files are additionally validated against the erec_trace/v1
+ * schema (span ends after start, monotonic starts on completed
+ * traces, unique span ids, parents resolve) and `_perfetto.json`
+ * files against the Chrome trace-event envelope (sorted timestamps,
+ * balanced flow-event pairs). Exit status is non-zero when any file
+ * fails.
  */
 
 #include <fstream>
@@ -17,6 +22,8 @@
 #include <string>
 
 #include "elasticrec/obs/export.h"
+#include "elasticrec/obs/perfetto.h"
+#include "elasticrec/obs/trace_schema.h"
 #include "tools/promcheck/prom_parser.h"
 
 namespace {
@@ -48,12 +55,34 @@ checkTraceFile(const std::string &path, const std::string &text)
 {
     try {
         const auto traces = erec::obs::readTraceJsonLines(text);
-        std::cout << path << ": OK (" << traces.size() << " traces)\n";
+        const auto errors = erec::obs::validateTraceSchema(traces);
+        if (!errors.empty()) {
+            for (const auto &e : errors)
+                std::cerr << path << ": "
+                          << erec::obs::kTraceSchemaVersion << ": " << e
+                          << "\n";
+            return false;
+        }
+        std::cout << path << ": OK (" << traces.size() << " traces, "
+                  << erec::obs::kTraceSchemaVersion << ")\n";
         return true;
     } catch (const std::exception &e) {
         std::cerr << path << ": " << e.what() << "\n";
         return false;
     }
+}
+
+bool
+checkPerfettoFile(const std::string &path, const std::string &text)
+{
+    const auto errors = erec::obs::validatePerfettoJson(text);
+    if (!errors.empty()) {
+        for (const auto &e : errors)
+            std::cerr << path << ": " << e << "\n";
+        return false;
+    }
+    std::cout << path << ": OK (perfetto trace-event JSON)\n";
+    return true;
 }
 
 bool
@@ -96,6 +125,8 @@ main(int argc, char **argv)
             ok = checkAlertFile(path, buf.str()) && ok;
         else if (endsWith(path, ".jsonl"))
             ok = checkTraceFile(path, buf.str()) && ok;
+        else if (endsWith(path, "_perfetto.json"))
+            ok = checkPerfettoFile(path, buf.str()) && ok;
         else
             ok = checkPromFile(path, buf.str()) && ok;
     }

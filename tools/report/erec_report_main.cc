@@ -7,8 +7,9 @@
  *
  * For every `<stem>.prom` in DIR (or just `--stem`), prints a run
  * summary from the Prometheus export, a per-stage latency attribution
- * table from `<stem>_traces.jsonl` (when tracing was on), and the SLO
- * verdict plus alert timeline from `<stem>_alerts.jsonl`.
+ * table and a critical-path breakdown from `<stem>_traces.jsonl`
+ * (when tracing was on), and the SLO verdict plus alert timeline from
+ * `<stem>_alerts.jsonl`.
  *
  * `--fail-on-alert` names alert rules that must not have fired in any
  * reported run; the exit status is 1 when one did (or when a telemetry
@@ -109,6 +110,9 @@ reportStem(const fs::path &dir, const std::string &stem,
                 erec::obs::readTraceJsonLines(readFile(traces_path));
             erec::obs::writeStageTable(
                 std::cout, erec::obs::attributeStages(traces));
+            std::cout << "\n";
+            erec::obs::writeCriticalPathTable(
+                std::cout, erec::obs::analyzeCriticalPaths(traces));
         } catch (const std::exception &e) {
             std::cerr << traces_path.filename().string() << ": "
                       << e.what() << "\n";
