@@ -10,6 +10,7 @@
 #   scripts/check.sh smoke   # run example + fig bench, validate telemetry
 #   scripts/check.sh bench   # serving throughput sweep + benchdiff gate
 #   scripts/check.sh kernels # kernel-backend sweep + benchdiff gate
+#   scripts/check.sh sim     # simulator-core throughput + benchdiff gate
 #   scripts/check.sh all     # every stage above, in order
 #
 # Each stage uses its own build tree (build-check-<stage>) so stages
@@ -196,6 +197,56 @@ stage_kernels() {
     fi
 }
 
+# Simulator-core perf gate: sim_throughput drives the discrete-event
+# engine through the diurnal trace on both deployment plans and
+# benchdiff compares simulated-queries-per-wall-second against
+# bench/baselines/BENCH_sim.json, with allocs_per_query pinned at
+# exactly zero (the gated query path must not heap-allocate; DESIGN.md
+# section 13). Also self-tests the gate with a throttled run that must
+# fail: a gate that cannot fail is not a gate. Set ELASTICREC_SIM_OUT
+# to keep BENCH_sim.json (CI uploads it as an artifact); by default a
+# temp dir is used and removed.
+stage_sim() {
+    local tree="$repo_root/build-check-release"
+    cmake -B "$tree" -S "$repo_root" "${cmake_launcher_args[@]}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DELASTICREC_WERROR=ON
+    cmake --build "$tree" -j "$jobs" \
+        --target sim_throughput erec_benchdiff
+    local out
+    if [ -n "${ELASTICREC_SIM_OUT:-}" ]; then
+        out="$ELASTICREC_SIM_OUT"
+        mkdir -p "$out"
+    else
+        out="$(mktemp -d)"
+        trap 'rm -rf "$out"' RETURN
+    fi
+    local benchdiff="$tree/tools/benchdiff/erec_benchdiff"
+    "$tree/bench/sim_throughput" --quick --out "$out/BENCH_sim.json"
+    "$benchdiff" \
+        "$repo_root/bench/baselines/BENCH_sim.json" \
+        "$out/BENCH_sim.json" --key point --tolerance 60% \
+        --metric-tolerance allocs_per_query=0
+
+    # Throttled self-test: 50 ms of sleep per simulated second turns
+    # the ~32k sim-queries/s ElasticRec point into a few thousand —
+    # far below the baseline floor on any machine — so the gate must
+    # exit 1, proof it can actually fail.
+    "$tree/bench/sim_throughput" --queries 50000 --throttle-us 50000 \
+        --out "$out/BENCH_sim_throttled.json"
+    local rc=0
+    "$benchdiff" \
+        "$repo_root/bench/baselines/BENCH_sim.json" \
+        "$out/BENCH_sim_throttled.json" --key point \
+        --tolerance 60% --metric-tolerance allocs_per_query=0 \
+        > "$out/benchdiff-throttled.txt" 2>&1 || rc=$?
+    if [ "$rc" -ne 1 ]; then
+        echo "sim self-test: expected exit 1 on throttled run," \
+            "got $rc" >&2
+        cat "$out/benchdiff-throttled.txt" >&2
+        exit 1
+    fi
+}
+
 # Hot-path discipline gate: erec_hotpath extracts the ERC_HOT_PATH
 # roots and the intra-repo call graph and flags heap allocation,
 # blocking I/O, throw and non-try locking in every transitively
@@ -305,6 +356,7 @@ case "$stage" in
   smoke) stage_smoke ;;
   bench) stage_bench ;;
   kernels) stage_kernels ;;
+  sim) stage_sim ;;
   all)
     stage_build
     stage_asan
@@ -315,9 +367,10 @@ case "$stage" in
     stage_smoke
     stage_bench
     stage_kernels
+    stage_sim
     ;;
   *)
-    echo "usage: check.sh [build|asan|tsan|lint|arch|hotpath|smoke|bench|kernels|all]" >&2
+    echo "usage: check.sh [build|asan|tsan|lint|arch|hotpath|smoke|bench|kernels|sim|all]" >&2
     exit 2
     ;;
 esac

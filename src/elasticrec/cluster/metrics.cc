@@ -52,11 +52,19 @@ MetricsRegistry::series(const std::string &deployment)
     return it->second;
 }
 
+// ERC_HOT_PATH_ALLOW("metrics recording: series binding and window growth are cold/amortized (lazy first-touch registration, recycled sample windows); the sim's AllocGate pins the gated query path at zero at runtime")
 void
 MetricsRegistry::recordCompletion(const std::string &deployment,
                                   SimTime now, SimTime latency)
 {
-    auto &s = series(deployment);
+    recordCompletion(series(deployment), now, latency);
+}
+
+// ERC_HOT_PATH_ALLOW("metrics recording: series binding and window growth are cold/amortized (lazy first-touch registration, recycled sample windows); the sim's AllocGate pins the gated query path at zero at runtime")
+void
+MetricsRegistry::recordCompletion(Series &s, SimTime now,
+                                  SimTime latency)
+{
     s.rate.add(now);
     s.latency.add(now, static_cast<double>(latency));
     if (s.obsCompletions != nullptr) {
@@ -66,10 +74,17 @@ MetricsRegistry::recordCompletion(const std::string &deployment,
     }
 }
 
+// ERC_HOT_PATH_ALLOW("metrics recording: series binding and window growth are cold/amortized (lazy first-touch registration, recycled sample windows); the sim's AllocGate pins the gated query path at zero at runtime")
 void
 MetricsRegistry::recordSlaViolation(const std::string &deployment)
 {
-    auto &s = series(deployment);
+    recordSlaViolation(series(deployment));
+}
+
+// ERC_HOT_PATH_ALLOW("metrics recording: series binding and window growth are cold/amortized (lazy first-touch registration, recycled sample windows); the sim's AllocGate pins the gated query path at zero at runtime")
+void
+MetricsRegistry::recordSlaViolation(Series &s)
+{
     ++s.slaViolations;
     if (s.obsSlaViolations != nullptr)
         s.obsSlaViolations->inc();

@@ -45,12 +45,48 @@ class MetricsRegistry
      */
     void bindObservability(obs::Registry *registry);
 
+    /** Per-deployment series, exposed as an opaque handle so hot
+     *  recording paths can skip the by-name map lookup. */
+    struct Series
+    {
+        Series(SimTime rate_window, SimTime latency_window)
+            : rate(rate_window), latency(latency_window)
+        {}
+        RateWindow rate;
+        // Streaming sketch, not a raw sample store: latencyQuantile sits
+        // on the HPA evaluation path and must stay O(1) per completion.
+        obs::WindowedQuantileSketch latency;
+        std::uint64_t slaViolations = 0;
+        // Resolved obs handles; null when no registry is bound.
+        obs::Counter *obsCompletions = nullptr;
+        obs::Counter *obsSlaViolations = nullptr;
+        obs::Histogram *obsLatencyMs = nullptr;
+    };
+
+    /**
+     * Find-or-create a deployment's series and return a stable handle
+     * (map nodes don't move). Creation binds the exportable counters,
+     * so resolve handles lazily — at first record, not up front — to
+     * keep the export's registration order equal to the by-name path.
+     */
+    // ERC_HOT_PATH_ALLOW("handle resolution is lazy first-touch: one find-or-create per deployment over a run, then callers record through the cached pointer")
+    Series &seriesFor(const std::string &deployment)
+    {
+        return series(deployment);
+    }
+
     /** Record one completed request with its end-to-end latency. */
     void recordCompletion(const std::string &deployment, SimTime now,
                           SimTime latency);
 
+    /** Handle-based variant for per-event recording paths. */
+    void recordCompletion(Series &s, SimTime now, SimTime latency);
+
     /** Record an SLA violation (completion later than the SLA bound). */
     void recordSlaViolation(const std::string &deployment);
+
+    /** Handle-based variant for per-event recording paths. */
+    void recordSlaViolation(Series &s);
 
     /**
      * Queries per second completed by a deployment, trailing window.
@@ -81,22 +117,6 @@ class MetricsRegistry
     double gauge(const std::string &name) const;
 
   private:
-    struct Series
-    {
-        Series(SimTime rate_window, SimTime latency_window)
-            : rate(rate_window), latency(latency_window)
-        {}
-        RateWindow rate;
-        // Streaming sketch, not a raw sample store: latencyQuantile sits
-        // on the HPA evaluation path and must stay O(1) per completion.
-        obs::WindowedQuantileSketch latency;
-        std::uint64_t slaViolations = 0;
-        // Resolved obs handles; null when no registry is bound.
-        obs::Counter *obsCompletions = nullptr;
-        obs::Counter *obsSlaViolations = nullptr;
-        obs::Histogram *obsLatencyMs = nullptr;
-    };
-
     Series &series(const std::string &deployment);
     void bindSeries(const std::string &deployment, Series &s);
 

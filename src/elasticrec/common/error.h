@@ -41,6 +41,7 @@ fatal(const std::string &msg)
     throw ConfigError(msg);
 }
 
+// ERC_HOT_PATH_ALLOW("failure path: builds and throws only on an internal invariant violation, never on the steady path")
 [[noreturn]] inline void
 panic(const std::string &msg)
 {

@@ -1,0 +1,98 @@
+#pragma once
+
+/**
+ * @file
+ * Fixed-overhead FIFO ring over a power-of-two vector.
+ *
+ * The simulator's steady path (pod stage queues, pending-dispatch
+ * queues, QPS rate windows) needs a FIFO that never allocates once
+ * warm. std::deque allocates a node per block and never shrinks its
+ * map; this ring doubles its backing store on overflow (cold) and then
+ * recycles it forever, so AllocGate-pinned regions stay at zero.
+ */
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "elasticrec/common/hotpath.h"
+
+namespace erec {
+
+template <typename T>
+class Ring
+{
+  public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    T &front() { return buf_[head_]; }
+    const T &front() const { return buf_[head_]; }
+
+    /** Element i positions past the front (0 = front). */
+    const T &at(std::size_t i) const
+    {
+        return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+
+    /** Append one element; amortized O(1), allocation-free once the
+     *  ring has reached its steady-state capacity. */
+    ERC_HOT_PATH
+    void
+    push(T v)
+    {
+        if (count_ == buf_.size())
+            grow();
+        buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(v);
+        ++count_;
+    }
+
+    /** Remove and return the front element. */
+    ERC_HOT_PATH
+    T
+    pop()
+    {
+        T v = std::move(buf_[head_]);
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --count_;
+        return v;
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        count_ = 0;
+    }
+
+    /** Grow capacity to at least n elements up front (rounded to a
+     *  power of two; never shrinks), so the first pushes of a fresh
+     *  ring don't allocate inside a gated region. */
+    void
+    reserve(std::size_t n)
+    {
+        while (buf_.size() < n)
+            grow();
+    }
+
+    /** Current backing-store capacity. */
+    std::size_t capacity() const { return buf_.size(); }
+
+  private:
+    // ERC_HOT_PATH_ALLOW("cold growth path: doubles the power-of-two backing store only when the ring is full; the steady state recycles capacity and never re-enters")
+    void
+    grow()
+    {
+        std::vector<T> wider(buf_.empty() ? 8 : buf_.size() * 2);
+        for (std::size_t i = 0; i < count_; ++i)
+            wider[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+        buf_ = std::move(wider);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace erec

@@ -119,7 +119,7 @@ WindowedPercentile::quantile(SimTime now, double q)
 void
 RateWindow::add(SimTime t, std::uint64_t count)
 {
-    events_.emplace_back(t, count);
+    events_.push({t, count});
     inWindow_ += count;
     total_ += count;
     expire(t);
@@ -131,7 +131,7 @@ RateWindow::expire(SimTime now)
     const SimTime cutoff = now - window_;
     while (!events_.empty() && events_.front().first < cutoff) {
         inWindow_ -= events_.front().second;
-        events_.pop_front();
+        events_.pop();
     }
 }
 

@@ -11,8 +11,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <utility>
 #include <vector>
 
+#include "elasticrec/common/ring.h"
 #include "elasticrec/common/units.h"
 
 namespace erec {
@@ -107,6 +109,10 @@ class WindowedPercentile
  * Event-rate window: counts events over a sliding window of simulated
  * time and reports a rate in events per second. This is how the metrics
  * server measures QPS.
+ *
+ * Backed by a Ring rather than a deque: add() sits on the simulator's
+ * per-completion path, which must be allocation-free once the window
+ * has reached its steady population.
  */
 class RateWindow
 {
@@ -124,7 +130,7 @@ class RateWindow
     void expire(SimTime now);
 
     SimTime window_;
-    std::deque<std::pair<SimTime, std::uint64_t>> events_;
+    Ring<std::pair<SimTime, std::uint64_t>> events_;
     std::uint64_t inWindow_ = 0;
     std::uint64_t total_ = 0;
 };

@@ -23,6 +23,14 @@ QuantileSketch::QuantileSketch(double relative_accuracy)
     ERC_CHECK(relative_accuracy > 0.0 && relative_accuracy < 1.0,
               "sketch relative accuracy must be in (0, 1), got "
                   << relative_accuracy);
+    // Pre-size the bucket array for the full value span the simulator
+    // can produce (sub-microsecond to weeks, in any unit), so insert()
+    // never reallocates mid-run: a late outlier extending the range
+    // would otherwise break the query path's zero-allocation pin.
+    // vector::insert/resize shift in place while size <= capacity.
+    const auto span = static_cast<std::size_t>(
+        std::ceil(std::log(1e18) * invLogGamma_)) + 2;
+    buckets_.reserve(span);
 }
 
 int
@@ -39,6 +47,7 @@ QuantileSketch::valueFor(int index) const
     return 2.0 * std::pow(gamma_, index) / (1.0 + gamma_);
 }
 
+// ERC_HOT_PATH_ALLOW("DDSketch bucket storage extends only on first sight of a value range (the ctor pre-reserves the full span); steady-state inserts recycle buckets and the sim's AllocGate pins them at zero")
 void
 QuantileSketch::insert(double x)
 {

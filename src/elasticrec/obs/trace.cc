@@ -6,6 +6,7 @@
 
 namespace erec::obs {
 
+// ERC_HOT_PATH_ALLOW("trace storage appends only for the 1-in-N sampled queries; sampled queries are excluded from the zero-alloc pin by design")
 QueryTrace *
 Tracer::maybeSample(SimTime arrival)
 {

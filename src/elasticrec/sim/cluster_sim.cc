@@ -4,24 +4,13 @@
 #include <cmath>
 #include <functional>
 
+#include "elasticrec/common/alloc_tracker.h"
 #include "elasticrec/common/error.h"
 #include "elasticrec/rpc/message.h"
 
 namespace erec::sim {
 
 namespace {
-
-/** Shared fan-out/fan-in context of one in-flight query. */
-struct QueryCtx
-{
-    SimTime arrival = 0;
-    std::uint32_t outstanding = 0;
-    SimTime lastDone = 0;
-    /** Non-null when this query was sampled for tracing. */
-    obs::QueryTrace *trace = nullptr;
-    /** Root span context of the sampled query (zero when untraced). */
-    obs::TraceContext root;
-};
 
 // Interned once at static-init time; trace records carry the ids.
 const obs::NameId kQueryName = obs::internSpanName("query");
@@ -54,6 +43,7 @@ sparseResponseSlot(unsigned ordinal)
 
 /** Record one causal span: the context's structural id fixes its
  *  position in the trace's span tree. */
+// ERC_HOT_PATH_ALLOW("span storage appends to the sampled query's trace; runs only for traced queries, which are excluded from the zero-alloc pin")
 void
 addCtxSpan(obs::QueryTrace *trace, const obs::TraceContext &ctx,
            obs::NameId name, SimTime start, SimTime end)
@@ -62,11 +52,21 @@ addCtxSpan(obs::QueryTrace *trace, const obs::TraceContext &ctx,
                    obs::parentSpanId(ctx.spanId));
 }
 
+// ERC_HOT_PATH_ALLOW("label construction for pod-scoped gauges: used at reap and per-pod sampling, never on the query path")
 obs::Labels
 podLabels(const std::string &deployment, std::uint64_t pod_id)
 {
     return {{"deployment", deployment},
             {"pod", "pod-" + std::to_string(pod_id)}};
+}
+
+/** Allocation region charged by the gated query-path event handlers
+ *  (kArrival, kRpcArrive, kStageDone, kComponentDone). */
+AllocRegion &
+simQueryRegion()
+{
+    static AllocRegion region("sim.query_path");
+    return region;
 }
 
 } // namespace
@@ -163,6 +163,10 @@ ClusterSimulation::ClusterSimulation(core::DeploymentPlan plan,
             resp.dim = plan_.config.embeddingDim;
             ds.requestBytes = req.wireBytes();
             ds.responseBytes = resp.wireBytes();
+            // The channel model is pure: one-way leg times per
+            // deployment are constants of the plan.
+            ds.rpcOut = channel_.oneWay(ds.requestBytes);
+            ds.rpcBack = channel_.oneWay(ds.responseBytes);
         }
 
         if (spec.kind == core::ShardKind::Dense ||
@@ -171,10 +175,18 @@ ClusterSimulation::ClusterSimulation(core::DeploymentPlan plan,
                       "plan has more than one frontend shard");
             frontendName_ = spec.name;
         }
+        ds.ordinal =
+            static_cast<std::uint16_t>(deploymentOrder_.size());
         deploymentOrder_.push_back(spec.name);
-        deployments_.emplace(spec.name, std::move(ds));
+        auto [it, inserted] =
+            deployments_.emplace(spec.name, std::move(ds));
+        ERC_CHECK(inserted, "duplicate deployment " << spec.name);
+        depByOrdinal_.push_back(&it->second);
+        if (it->first == frontendName_)
+            frontend_ = &it->second;
     }
     ERC_CHECK(!frontendName_.empty(), "plan has no frontend shard");
+    numSparse_ = sparseCount;
 
     // Default SLO rules: mirror the control loop's own targets so a
     // run's verdict is "did the autoscaler hold the line".
@@ -274,13 +286,19 @@ ClusterSimulation::liveMemory() const
 std::uint32_t
 ClusterSimulation::liveNodes() const
 {
+    // The pod population changes on add/reap only; between changes the
+    // bin-pack result is a pure function of it, so reuse the cache.
+    if (!packDirty_)
+        return packedNodes_;
     std::vector<cluster::PodRequest> pods;
     for (const auto &[name, ds] : deployments_) {
         const auto req = ds.deployment->request();
         for (std::size_t i = 0; i < ds.pods.size(); ++i)
             pods.push_back({name, req});
     }
-    return scheduler_.pack(pods).numNodes();
+    packedNodes_ = scheduler_.pack(pods).numNodes();
+    packDirty_ = false;
+    return packedNodes_;
 }
 
 double
@@ -298,29 +316,43 @@ ClusterSimulation::addPod(DeploymentState &ds, bool instant)
     auto pod = std::make_unique<Pod>(nextPodId_++, spec.stageLatencies);
     Pod *raw = pod.get();
     ds.pods.push_back(std::move(pod));
+    packDirty_ = true;
     if (instant) {
         raw->markReady();
         return;
     }
     ds.obsColdStarts->inc();
     // Cold start: container scheduling plus loading this shard's
-    // parameters into memory.
+    // parameters into memory. The ready event carries the pod id, not
+    // the pointer: the pod may be terminated — even reaped — while
+    // starting, and the handler looks it up before touching it.
     const SimTime load = units::fromSeconds(
         static_cast<double>(spec.memBytes) /
         options_.modelLoadBandwidth);
-    queue_.scheduleAfter(
-        options_.podStartBase + load, [this, &ds, raw]() {
-            // The pod may have been terminated while starting.
-            if (raw->state() != PodState::Starting)
-                return;
-            raw->markReady();
-            // Drain any requests that queued while no pod was ready.
-            while (!ds.pending.empty()) {
-                WorkItem item = std::move(ds.pending.front());
-                ds.pending.pop_front();
-                dispatch(ds, std::move(item));
-            }
-        });
+    queue_.scheduleAfter(options_.podStartBase + load,
+                         EventType::kPodReady, raw->id(), ds.ordinal);
+}
+
+void
+ClusterSimulation::podReady(std::uint64_t pod_id, std::uint16_t ordinal)
+{
+    DeploymentState &ds = *depByOrdinal_[ordinal];
+    Pod *raw = nullptr;
+    for (const auto &p : ds.pods) {
+        if (p->id() == pod_id) {
+            raw = p.get();
+            break;
+        }
+    }
+    // The pod may have been terminated (or reaped) while starting.
+    if (raw == nullptr || raw->state() != PodState::Starting)
+        return;
+    raw->markReady();
+    // Drain any requests that queued while no pod was ready.
+    while (!ds.pending.empty()) {
+        const WorkItem item = ds.pending.pop();
+        dispatch(ds, item);
+    }
 }
 
 void
@@ -348,50 +380,57 @@ ClusterSimulation::removePod(DeploymentState &ds)
         return; // Nothing removable (all already terminating).
 
     victim->markTerminating();
-    for (auto &item : victim->stealQueued())
-        dispatch(ds, std::move(item));
+    for (const auto &item : victim->stealQueued())
+        dispatch(ds, item);
     reapDrained(ds);
 }
 
+// ERC_HOT_PATH_ALLOW("reap allocates (gauge label removal) only when a drained or crash-settled pod is actually destroyed — a scale-down/crash consequence, not a per-query step")
 void
 ClusterSimulation::reapDrained(DeploymentState &ds)
 {
-    std::erase_if(ds.pods, [this, &ds](const std::unique_ptr<Pod> &p) {
-        if (!p->removable())
-            return false;
-        lostQueries_ += p->lostItems();
-        // Keep the utilization accounting and the export clean: carry
-        // the dead pod's busy time, drop its per-pod gauge.
-        ds.reapedBusy += p->busyTime();
-        obs_->remove("erec_pod_queue_depth",
-                     podLabels(ds.deployment->name(), p->id()));
-        return true;
-    });
+    const auto removed =
+        std::erase_if(ds.pods, [this, &ds](const std::unique_ptr<Pod> &p) {
+            if (!p->removable())
+                return false;
+            lostQueries_ += p->lostItems();
+            // Keep the utilization accounting and the export clean:
+            // carry the dead pod's busy time, drop its per-pod gauge.
+            ds.reapedBusy += p->busyTime();
+            obs_->remove("erec_pod_queue_depth",
+                         podLabels(ds.deployment->name(), p->id()));
+            return true;
+        });
+    if (removed != 0)
+        packDirty_ = true;
 }
 
 void
-ClusterSimulation::dispatch(DeploymentState &ds, WorkItem item)
+ClusterSimulation::dispatch(DeploymentState &ds, const WorkItem &item)
 {
     // Route across ready replicas with the configured policy
-    // (Linkerd's default is power-of-two-choices).
-    std::vector<cluster::LbCandidate> candidates;
-    candidates.reserve(ds.pods.size());
+    // (Linkerd's default is power-of-two-choices). The candidate list
+    // is a member scratch vector: cleared per call, capacity bounded
+    // by the largest deployment's pod count.
+    lbScratch_.clear();
     for (std::uint32_t i = 0; i < ds.pods.size(); ++i) {
-        if (ds.pods[i]->state() == PodState::Ready)
-            candidates.push_back({i, ds.pods[i]->inFlight()});
+        if (ds.pods[i]->state() == PodState::Ready) {
+            // ERC_HOT_PATH_ALLOW("scratch vector reuses capacity across dispatches; bounded by the pod count, it stops growing once the fleet peaks")
+            lbScratch_.push_back({i, ds.pods[i]->inFlight()});
+        }
     }
-    if (candidates.empty()) {
-        ds.pending.push_back(std::move(item));
+    if (lbScratch_.empty()) {
+        ds.pending.push(item);
         return;
     }
-    const auto chosen = ds.balancer->pick(candidates);
-    ds.pods[chosen]->submit(queue_, std::move(item));
+    const auto chosen = ds.balancer->pick(lbScratch_);
+    ds.pods[chosen]->submit(queue_, *this, item);
 }
 
 void
 ClusterSimulation::startQuery()
 {
-    auto &fe = state(frontendName_);
+    DeploymentState &fe = *frontend_;
     const SimTime arrival = queue_.now();
     const bool monolithic =
         fe.deployment->spec().kind == core::ShardKind::Monolithic;
@@ -408,153 +447,261 @@ ClusterSimulation::startQuery()
     if (monolithic) {
         WorkItem item;
         item.jitter = jitter();
-        std::shared_ptr<SimTime> svc_start;
-        if (trace != nullptr) {
+        item.t0 = arrival;
+        item.ctx = arena_.allocate(arrival, 1, trace, root);
+        item.dep = fe.ordinal;
+        item.kind = WorkKind::Mono;
+        if (trace != nullptr)
             item.trace = root;
-            svc_start = std::make_shared<SimTime>(arrival);
-            item.onStart = [trace, root, arrival,
-                            svc_start](SimTime start) {
-                *svc_start = start;
-                addCtxSpan(trace, root.child(kMonoQueueSlot),
-                           kMonoQueueName, arrival, start);
-            };
-        }
-        item.onDone = [this, arrival, trace, root,
-                       svc_start](SimTime done) {
-            const SimTime latency = done - arrival;
-            metrics_.recordCompletion(frontendName_, done, latency);
-            latencyAll_.add(units::toMillis(latency));
-            ++result_.completed;
-            if (latency > options_.sla) {
-                metrics_.recordSlaViolation(frontendName_);
-                ++result_.slaViolations;
-            }
-            if (trace != nullptr) {
-                addCtxSpan(trace, root.child(kMonoServiceSlot),
-                           kMonoServiceName, *svc_start, done);
-                addCtxSpan(trace, root, kQueryName, arrival, done);
-                tracer_.finish(trace, done);
-            }
-        };
-        dispatch(fe, std::move(item));
+        dispatch(fe, item);
         return;
     }
 
     // ElasticRec: the dense shard computes its MLP while the gather
     // RPCs fan out to every sparse shard; the query completes when the
     // dense compute and the slowest shard round trip have both
-    // finished.
-    auto ctx = std::make_shared<QueryCtx>();
-    ctx->arrival = arrival;
-    ctx->trace = trace;
-    ctx->root = root;
-    ctx->outstanding = 1; // dense leg
-    for (const auto &name : deploymentOrder_) {
-        const auto &ds = deployments_.at(name);
-        if (ds.deployment->spec().kind ==
-            core::ShardKind::SparseEmbedding)
-            ++ctx->outstanding;
-    }
-
-    auto component_done = [this, ctx](SimTime done) {
-        ctx->lastDone = std::max(ctx->lastDone, done);
-        if (--ctx->outstanding > 0)
-            return;
-        const SimTime latency = ctx->lastDone - ctx->arrival;
-        metrics_.recordCompletion(frontendName_, ctx->lastDone, latency);
-        latencyAll_.add(units::toMillis(latency));
-        ++result_.completed;
-        if (latency > options_.sla) {
-            metrics_.recordSlaViolation(frontendName_);
-            ++result_.slaViolations;
-        }
-        if (ctx->trace != nullptr) {
-            addCtxSpan(ctx->trace, ctx->root, kQueryName, ctx->arrival,
-                       ctx->lastDone);
-            tracer_.finish(ctx->trace, ctx->lastDone);
-        }
-    };
+    // finished. The arena slot carries the fan-in state.
+    const std::uint32_t slot =
+        arena_.allocate(arrival, 1 + numSparse_, trace, root);
 
     // Dense leg: overlaps the bottom-MLP compute with the gathers.
     {
         WorkItem item;
         item.jitter = jitter();
-        if (ctx->trace != nullptr) {
+        item.t0 = arrival;
+        item.ctx = slot;
+        item.dep = fe.ordinal;
+        item.kind = WorkKind::DenseLeg;
+        if (trace != nullptr)
             item.trace = root.child(kDenseComputeSlot);
-            auto svc_start = std::make_shared<SimTime>(arrival);
-            item.onStart = [ctx, arrival, svc_start](SimTime start) {
-                *svc_start = start;
-                addCtxSpan(ctx->trace,
-                           ctx->root.child(kDenseQueueSlot),
-                           kDenseQueueName, arrival, start);
-            };
-            item.onDone = [ctx, svc_start,
-                           component_done](SimTime done) {
-                addCtxSpan(ctx->trace,
-                           ctx->root.child(kDenseComputeSlot),
-                           kDenseComputeName, *svc_start, done);
-                component_done(done);
-            };
-        } else {
-            item.onDone = component_done;
-        }
-        dispatch(fe, std::move(item));
+        dispatch(fe, item);
     }
 
     // Sparse legs: request network delay, shard service, response
-    // network delay.
-    for (const auto &name : deploymentOrder_) {
-        auto &ds = state(name);
+    // network delay. The kRpcArrive event stands in for the request
+    // leg's network flight.
+    for (DeploymentState *dsp : depByOrdinal_) {
+        DeploymentState &ds = *dsp;
         if (ds.deployment->spec().kind !=
             core::ShardKind::SparseEmbedding)
             continue;
-        const SimTime out = channel_.oneWay(ds.requestBytes);
-        const SimTime back = channel_.oneWay(ds.responseBytes);
-        queue_.scheduleAfter(out, [this, &ds, back, component_done,
-                                   ctx]() {
-            const SimTime rpc_arrive = queue_.now();
-            WorkItem item;
-            item.jitter = jitter();
-            std::shared_ptr<SimTime> svc_start;
-            // The RPC leg's context rides on the work item exactly as
-            // the functional stack propagates it in the GatherRequest
-            // header; shard-side spans hang under the request span.
-            const obs::TraceContext rpc =
-                ctx->root.child(sparseRequestSlot(ds.sparseOrdinal));
-            if (ctx->trace != nullptr) {
-                item.trace = rpc;
-                svc_start = std::make_shared<SimTime>(rpc_arrive);
-                addCtxSpan(ctx->trace, rpc, ds.nameRpcRequest,
-                           ctx->arrival, rpc_arrive);
-                item.onStart = [ctx, &ds, rpc, rpc_arrive,
-                                svc_start](SimTime start) {
-                    *svc_start = start;
-                    addCtxSpan(ctx->trace, rpc.child(0),
-                               ds.nameSparseQueue, rpc_arrive, start);
-                };
-            }
-            item.onDone = [this, &ds, back, component_done, ctx, rpc,
-                           svc_start](SimTime done) {
-                metrics_.recordCompletion(ds.deployment->name(), done,
-                                          0);
-                if (ctx->trace != nullptr) {
-                    addCtxSpan(ctx->trace, rpc.child(1),
-                               ds.nameSparseService, *svc_start, done);
-                    addCtxSpan(
-                        ctx->trace,
-                        ctx->root.child(
-                            sparseResponseSlot(ds.sparseOrdinal)),
-                        ds.nameRpcResponse, done, done + back);
-                }
-                reapDrained(ds);
-                queue_.schedule(done + back,
-                                [component_done, done, back]() {
-                                    component_done(done + back);
-                                });
-            };
-            dispatch(ds, std::move(item));
-        });
+        queue_.scheduleAfter(ds.rpcOut, EventType::kRpcArrive, slot,
+                             ds.ordinal);
     }
+}
+
+void
+ClusterSimulation::rpcArrive(std::uint32_t slot, std::uint16_t ordinal)
+{
+    DeploymentState &ds = *depByOrdinal_[ordinal];
+    const SimTime rpc_arrive = queue_.now();
+    WorkItem item;
+    item.jitter = jitter();
+    item.t0 = rpc_arrive;
+    item.ctx = slot;
+    item.dep = ordinal;
+    item.kind = WorkKind::SparseLeg;
+    // The RPC leg's context rides on the work item exactly as the
+    // functional stack propagates it in the GatherRequest header;
+    // shard-side spans hang under the request span.
+    const obs::TraceContext rpc =
+        arena_.root(slot).child(sparseRequestSlot(ds.sparseOrdinal));
+    if (arena_.trace(slot) != nullptr) {
+        item.trace = rpc;
+        tracedRpcArrive(ds, slot, rpc, rpc_arrive);
+    }
+    dispatch(ds, item);
+}
+
+void
+ClusterSimulation::onArrival()
+{
+    ++result_.arrivals;
+    obsArrivals_->inc();
+    startQuery();
+    scheduleNextArrival();
+}
+
+void
+ClusterSimulation::workStarted(const WorkItem &item, SimTime start)
+{
+    if (arena_.trace(item.ctx) != nullptr)
+        tracedWorkStarted(item, start);
+}
+
+void
+ClusterSimulation::workDone(const WorkItem &item, SimTime done)
+{
+    switch (item.kind) {
+      case WorkKind::Mono:
+        monoDone(item, done);
+        break;
+      case WorkKind::DenseLeg:
+        if (arena_.trace(item.ctx) != nullptr)
+            tracedDenseDone(item, done);
+        componentDone(item.ctx, done);
+        break;
+      case WorkKind::SparseLeg:
+        sparseLegDone(item, done);
+        break;
+      case WorkKind::None:
+        break;
+    }
+}
+
+void
+ClusterSimulation::workLost(const WorkItem &item)
+{
+    // A leg died with its pod: the query can never complete, but its
+    // slot must still wait for every other leg to account before it
+    // recycles (pending kComponentDone events refer to it).
+    arena_.markDead(item.ctx);
+    if (arena_.accountLeg(item.ctx))
+        arena_.release(item.ctx);
+}
+
+void
+ClusterSimulation::monoDone(const WorkItem &item, SimTime done)
+{
+    const std::uint32_t slot = item.ctx;
+    const SimTime latency = done - arena_.arrival(slot);
+    if (frontendSeries_ == nullptr)
+        frontendSeries_ = &metrics_.seriesFor(frontendName_);
+    metrics_.recordCompletion(*frontendSeries_, done, latency);
+    // ERC_HOT_PATH_ALLOW("DDSketch insert: bucket storage extends only on first sight of a value range; steady-state inserts are allocation-free and the AllocGate pins them")
+    latencyAll_.insert(units::toMillis(latency));
+    ++result_.completed;
+    if (latency > options_.sla) {
+        metrics_.recordSlaViolation(*frontendSeries_);
+        ++result_.slaViolations;
+    }
+    if (arena_.trace(slot) != nullptr)
+        tracedMonoDone(item, done);
+    arena_.release(slot);
+}
+
+void
+ClusterSimulation::sparseLegDone(const WorkItem &item, SimTime done)
+{
+    DeploymentState &ds = *depByOrdinal_[item.dep];
+    if (ds.series == nullptr)
+        ds.series = &metrics_.seriesFor(ds.deployment->name());
+    metrics_.recordCompletion(*ds.series, done, 0);
+    if (arena_.trace(item.ctx) != nullptr)
+        tracedSparseDone(item, done);
+    reapDrained(ds);
+    // Response leg flies back; fan-in happens when it lands.
+    queue_.schedule(done + ds.rpcBack, EventType::kComponentDone,
+                    item.ctx);
+}
+
+void
+ClusterSimulation::componentDone(std::uint32_t slot, SimTime done)
+{
+    arena_.noteDone(slot, done);
+    if (!arena_.accountLeg(slot))
+        return;
+    if (arena_.dead(slot)) {
+        // A sibling leg was lost: no completion, just recycle.
+        arena_.release(slot);
+        return;
+    }
+    const SimTime last = arena_.lastDone(slot);
+    const SimTime latency = last - arena_.arrival(slot);
+    if (frontendSeries_ == nullptr)
+        frontendSeries_ = &metrics_.seriesFor(frontendName_);
+    metrics_.recordCompletion(*frontendSeries_, last, latency);
+    // ERC_HOT_PATH_ALLOW("DDSketch insert: bucket storage extends only on first sight of a value range; steady-state inserts are allocation-free and the AllocGate pins them")
+    latencyAll_.insert(units::toMillis(latency));
+    ++result_.completed;
+    if (latency > options_.sla) {
+        metrics_.recordSlaViolation(*frontendSeries_);
+        ++result_.slaViolations;
+    }
+    if (arena_.trace(slot) != nullptr)
+        tracedQueryDone(slot);
+    arena_.release(slot);
+}
+
+// ERC_HOT_PATH_ALLOW("span recording runs only for sampled queries; the sampled path is excluded from the zero-alloc pin by design")
+void
+ClusterSimulation::tracedWorkStarted(const WorkItem &item, SimTime start)
+{
+    obs::QueryTrace *trace = arena_.trace(item.ctx);
+    const obs::TraceContext root = arena_.root(item.ctx);
+    switch (item.kind) {
+      case WorkKind::Mono:
+        addCtxSpan(trace, root.child(kMonoQueueSlot), kMonoQueueName,
+                   item.t0, start);
+        break;
+      case WorkKind::DenseLeg:
+        addCtxSpan(trace, root.child(kDenseQueueSlot), kDenseQueueName,
+                   item.t0, start);
+        break;
+      case WorkKind::SparseLeg: {
+        const DeploymentState &ds = *depByOrdinal_[item.dep];
+        addCtxSpan(trace, item.trace.child(0), ds.nameSparseQueue,
+                   item.t0, start);
+        break;
+      }
+      case WorkKind::None:
+        break;
+    }
+}
+
+// ERC_HOT_PATH_ALLOW("span recording runs only for sampled queries; the sampled path is excluded from the zero-alloc pin by design")
+void
+ClusterSimulation::tracedMonoDone(const WorkItem &item, SimTime done)
+{
+    obs::QueryTrace *trace = arena_.trace(item.ctx);
+    const obs::TraceContext root = arena_.root(item.ctx);
+    addCtxSpan(trace, root.child(kMonoServiceSlot), kMonoServiceName,
+               item.svcStart, done);
+    addCtxSpan(trace, root, kQueryName, arena_.arrival(item.ctx), done);
+    tracer_.finish(trace, done);
+}
+
+// ERC_HOT_PATH_ALLOW("span recording runs only for sampled queries; the sampled path is excluded from the zero-alloc pin by design")
+void
+ClusterSimulation::tracedDenseDone(const WorkItem &item, SimTime done)
+{
+    addCtxSpan(arena_.trace(item.ctx), item.trace, kDenseComputeName,
+               item.svcStart, done);
+}
+
+// ERC_HOT_PATH_ALLOW("span recording runs only for sampled queries; the sampled path is excluded from the zero-alloc pin by design")
+void
+ClusterSimulation::tracedRpcArrive(const DeploymentState &ds,
+                                   std::uint32_t slot,
+                                   obs::TraceContext rpc,
+                                   SimTime rpc_arrive)
+{
+    addCtxSpan(arena_.trace(slot), rpc, ds.nameRpcRequest,
+               arena_.arrival(slot), rpc_arrive);
+}
+
+// ERC_HOT_PATH_ALLOW("span recording runs only for sampled queries; the sampled path is excluded from the zero-alloc pin by design")
+void
+ClusterSimulation::tracedSparseDone(const WorkItem &item, SimTime done)
+{
+    const DeploymentState &ds = *depByOrdinal_[item.dep];
+    obs::QueryTrace *trace = arena_.trace(item.ctx);
+    addCtxSpan(trace, item.trace.child(1), ds.nameSparseService,
+               item.svcStart, done);
+    addCtxSpan(trace,
+               arena_.root(item.ctx).child(
+                   sparseResponseSlot(ds.sparseOrdinal)),
+               ds.nameRpcResponse, done, done + ds.rpcBack);
+}
+
+// ERC_HOT_PATH_ALLOW("span recording runs only for sampled queries; the sampled path is excluded from the zero-alloc pin by design")
+void
+ClusterSimulation::tracedQueryDone(std::uint32_t slot)
+{
+    obs::QueryTrace *trace = arena_.trace(slot);
+    addCtxSpan(trace, arena_.root(slot), kQueryName,
+               arena_.arrival(slot), arena_.lastDone(slot));
+    tracer_.finish(trace, arena_.lastDone(slot));
 }
 
 void
@@ -563,12 +710,30 @@ ClusterSimulation::scheduleNextArrival()
     const SimTime next = arrivals_.nextAfter(queue_.now());
     if (next > endTime_)
         return;
-    queue_.schedule(next, [this]() {
-        ++result_.arrivals;
-        obsArrivals_->inc();
-        startQuery();
-        scheduleNextArrival();
-    });
+    queue_.schedule(next, EventType::kArrival);
+}
+
+void
+ClusterSimulation::onFailure(std::size_t failure_idx)
+{
+    const PlannedFailure &failure = plannedFailures_[failure_idx];
+    auto &ds = state(failure.deployment);
+    for (std::uint32_t k = 0; k < failure.count; ++k) {
+        // Crash the most-loaded ready pod (worst case).
+        Pod *victim = nullptr;
+        for (const auto &p : ds.pods) {
+            if (p->state() != PodState::Ready)
+                continue;
+            if (victim == nullptr ||
+                p->inFlight() > victim->inFlight())
+                victim = p.get();
+        }
+        if (victim == nullptr)
+            break;
+        for (const auto &item : victim->crash(*this))
+            dispatch(ds, item);
+        reapDrained(ds);
+    }
 }
 
 void
@@ -619,7 +784,7 @@ ClusterSimulation::hpaTick()
 
     if (queue_.now() + options_.hpaSyncPeriod <= endTime_)
         queue_.scheduleAfter(options_.hpaSyncPeriod,
-                             [this]() { hpaTick(); });
+                             EventType::kHpaTick);
 }
 
 void
@@ -642,7 +807,8 @@ ClusterSimulation::sampleTick(SimTime end)
     result_.nodesInUse.add(now, nodes);
     result_.peakNodes = std::max(result_.peakNodes, nodes);
 
-    // Publish per-deployment (and per-pod) gauges for the export.
+    // Publish per-deployment (and, in compat mode, per-pod) gauges
+    // for the export.
     for (auto &[name, ds] : deployments_) {
         std::uint32_t depth =
             static_cast<std::uint32_t>(ds.pending.size());
@@ -653,10 +819,12 @@ ClusterSimulation::sampleTick(SimTime end)
             busy += p->busyTime();
             if (p->state() == PodState::Ready) {
                 ++dep_ready;
-                obs_->gauge("erec_pod_queue_depth",
+                if (options_.sampling == SamplingMode::CompatTick)
+                    obs_->gauge(
+                            "erec_pod_queue_depth",
                             "Requests queued or in service at one pod.",
                             podLabels(name, p->id()))
-                    .set(p->inFlight());
+                        .set(p->inFlight());
             }
         }
         ds.obsQueueDepth->set(depth);
@@ -680,7 +848,52 @@ ClusterSimulation::sampleTick(SimTime end)
 
     if (now + options_.sampleInterval <= end)
         queue_.scheduleAfter(options_.sampleInterval,
-                             [this, end]() { sampleTick(end); });
+                             EventType::kSampleTick);
+}
+
+void
+ClusterSimulation::onEvent(const EventRecord &event)
+{
+    switch (event.type) {
+      case EventType::kArrival: {
+        const AllocGate gate(simQueryRegion());
+        onArrival();
+        break;
+      }
+      case EventType::kRpcArrive: {
+        const AllocGate gate(simQueryRegion());
+        rpcArrive(static_cast<std::uint32_t>(event.a),
+                  static_cast<std::uint16_t>(event.b));
+        break;
+      }
+      case EventType::kStageDone: {
+        const AllocGate gate(simQueryRegion());
+        reinterpret_cast<Pod *>(static_cast<std::uintptr_t>(event.a))
+            ->stageDone(queue_, *this,
+                        static_cast<std::size_t>(event.b));
+        break;
+      }
+      case EventType::kComponentDone: {
+        const AllocGate gate(simQueryRegion());
+        componentDone(static_cast<std::uint32_t>(event.a),
+                      queue_.now());
+        break;
+      }
+      case EventType::kPodReady:
+        podReady(event.a, static_cast<std::uint16_t>(event.b));
+        break;
+      case EventType::kHpaTick:
+        hpaTick();
+        break;
+      case EventType::kSampleTick:
+        sampleTick(endTime_);
+        break;
+      case EventType::kFailure:
+        onFailure(static_cast<std::size_t>(event.a));
+        break;
+      case EventType::kGeneric:
+        break;
+    }
 }
 
 SimResult
@@ -688,7 +901,7 @@ ClusterSimulation::run(SimTime duration)
 {
     ERC_CHECK(duration > 0, "simulation duration must be positive");
     result_ = SimResult{};
-    latencyAll_.reset();
+    latencyAll_.clear();
     lostQueries_ = 0;
     endTime_ = duration;
     tracer_.reset();
@@ -710,36 +923,17 @@ ClusterSimulation::run(SimTime duration)
             addPod(ds, true);
     }
 
-    for (const auto &failure : plannedFailures_) {
-        queue_.schedule(failure.time, [this, failure]() {
-            auto &ds = state(failure.deployment);
-            for (std::uint32_t k = 0; k < failure.count; ++k) {
-                // Crash the most-loaded ready pod (worst case).
-                Pod *victim = nullptr;
-                for (const auto &p : ds.pods) {
-                    if (p->state() != PodState::Ready)
-                        continue;
-                    if (victim == nullptr ||
-                        p->inFlight() > victim->inFlight())
-                        victim = p.get();
-                }
-                if (victim == nullptr)
-                    break;
-                for (auto &item : victim->crash())
-                    dispatch(ds, std::move(item));
-                reapDrained(ds);
-            }
-        });
-    }
+    for (std::size_t i = 0; i < plannedFailures_.size(); ++i)
+        queue_.schedule(plannedFailures_[i].time, EventType::kFailure,
+                        i);
 
     scheduleNextArrival();
-    queue_.scheduleAfter(options_.hpaSyncPeriod,
-                         [this]() { hpaTick(); });
+    queue_.scheduleAfter(options_.hpaSyncPeriod, EventType::kHpaTick);
     sampleTick(duration);
-    queue_.runUntil(duration);
+    queue_.runUntil(duration, *this);
 
     result_.meanLatencyMs = latencyAll_.mean();
-    result_.p95LatencyOverallMs = latencyAll_.p95();
+    result_.p95LatencyOverallMs = latencyAll_.quantile(0.95);
     for (const auto &name : deploymentOrder_) {
         auto &ds = state(name);
         for (const auto &p : ds.pods)

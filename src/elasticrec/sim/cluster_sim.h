@@ -25,6 +25,18 @@
  * against 65% of the SLA. New pods charge a cold-start delay that
  * includes loading their parameters at a fixed bandwidth — the term
  * that makes baseline scale-out sluggish in Figure 19.
+ *
+ * ## Event engine
+ *
+ * The simulation is the EventSink of a POD-record event queue and the
+ * PodSink of every pod: queries fan out as typed events (kArrival,
+ * kRpcArrive, kStageDone, kComponentDone) whose payloads are query
+ * arena slots and deployment ordinals, never captured closures. The
+ * steady query path performs zero heap allocations (AllocGate-pinned
+ * by the sim throughput gate and walked statically by erec_hotpath);
+ * sampling, HPA reconciliation, SLO evaluation and failure injection
+ * are events of the same queue. DESIGN.md §13 documents the taxonomy
+ * and the arena lifetime rules.
  */
 
 #include <cstdint>
@@ -38,18 +50,39 @@
 #include "elasticrec/cluster/load_balancer.h"
 #include "elasticrec/cluster/metrics.h"
 #include "elasticrec/cluster/scheduler.h"
+#include "elasticrec/common/ring.h"
 #include "elasticrec/common/rng.h"
 #include "elasticrec/common/stats.h"
 #include "elasticrec/core/planner.h"
 #include "elasticrec/obs/metric.h"
+#include "elasticrec/obs/sketch.h"
 #include "elasticrec/obs/slo.h"
 #include "elasticrec/obs/trace.h"
 #include "elasticrec/rpc/channel.h"
 #include "elasticrec/sim/event_queue.h"
 #include "elasticrec/sim/pod.h"
+#include "elasticrec/sim/query_arena.h"
 #include "elasticrec/workload/traffic.h"
 
 namespace erec::sim {
+
+/**
+ * How the per-interval sample tick publishes telemetry.
+ *
+ * Both modes sample on event time (a kSampleTick event per interval)
+ * and produce identical SimResults; they differ only in per-pod gauge
+ * export. CompatTick publishes an `erec_pod_queue_depth` gauge per
+ * ready pod each tick — the legacy export surface, kept byte-stable
+ * for the fig19 golden and the telemetry smoke. EventTime skips the
+ * per-pod gauges (their label strings are the one remaining per-tick
+ * allocation source), which is what the million-query throughput
+ * harness runs.
+ */
+enum class SamplingMode
+{
+    CompatTick,
+    EventTime,
+};
 
 struct SimOptions
 {
@@ -92,6 +125,8 @@ struct SimOptions
      * SimResults.
      */
     std::uint32_t traceSampleEvery = 0;
+    /** Telemetry publication mode of the sample tick. */
+    SamplingMode sampling = SamplingMode::CompatTick;
     /**
      * Exportable metrics registry to publish into. When null the
      * simulation creates its own (reachable via observability()).
@@ -124,7 +159,7 @@ struct SimResult
     std::map<std::string, std::uint64_t> scaleEventsByDeployment;
 };
 
-class ClusterSimulation
+class ClusterSimulation final : private EventSink, private PodSink
 {
   public:
     ClusterSimulation(core::DeploymentPlan plan, hw::NodeSpec node,
@@ -150,6 +185,10 @@ class ClusterSimulation
 
     /** Run for the given simulated duration and collect results. */
     SimResult run(SimTime duration);
+
+    /** Total events the engine has executed since construction (all
+     *  runs); the throughput bench reports events per query from it. */
+    std::uint64_t eventsExecuted() const { return queue_.executed(); }
 
     const core::DeploymentPlan &plan() const { return plan_; }
 
@@ -185,12 +224,22 @@ class ClusterSimulation
         std::unique_ptr<cluster::Deployment> deployment;
         std::unique_ptr<cluster::Hpa> hpa;
         std::vector<std::unique_ptr<Pod>> pods;
-        std::deque<WorkItem> pending; //!< Waiting for a ready pod.
+        Ring<WorkItem> pending; //!< Waiting for a ready pod.
         std::unique_ptr<cluster::LoadBalancer> balancer;
         bool fixed = false;
+        /** Position in the plan's shard order; WorkItems and event
+         *  payloads carry this instead of the deployment name. */
+        std::uint16_t ordinal = 0;
         /** Wire bytes of one request/response to this deployment. */
         Bytes requestBytes = 0;
         Bytes responseBytes = 0;
+        /** One-way RPC leg times for those sizes, precomputed (the
+         *  channel model is pure, so per-query evaluation is waste). */
+        SimTime rpcOut = 0;
+        SimTime rpcBack = 0;
+        /** Completion-series handle, resolved lazily at first record
+         *  so export registration order matches the by-name path. */
+        cluster::MetricsRegistry::Series *series = nullptr;
         /** Causal span names ("rpc/<dep>/request", ...), interned once
          *  at construction so traced queries record ids, never build
          *  strings. Sparse deployments only. */
@@ -213,6 +262,26 @@ class ClusterSimulation
         SimTime lastBusySample = 0;
     };
 
+    // EventSink: route a typed event to its handler.
+    void onEvent(const EventRecord &event) override;
+
+    // PodSink: per-leg lifecycle, static dispatch on item.kind.
+    void workStarted(const WorkItem &item, SimTime start) override;
+    ERC_HOT_PATH
+    void workDone(const WorkItem &item, SimTime done) override;
+    void workLost(const WorkItem &item) override;
+
+    // Span recording for sampled queries (cold relative to the gated
+    // query path; the hot handlers call these only when a trace is
+    // attached).
+    void tracedWorkStarted(const WorkItem &item, SimTime start);
+    void tracedMonoDone(const WorkItem &item, SimTime done);
+    void tracedDenseDone(const WorkItem &item, SimTime done);
+    void tracedRpcArrive(const DeploymentState &ds, std::uint32_t slot,
+                         obs::TraceContext rpc, SimTime rpc_arrive);
+    void tracedSparseDone(const WorkItem &item, SimTime done);
+    void tracedQueryDone(std::uint32_t slot);
+
     DeploymentState &state(const std::string &name);
     double readSloSignal(const obs::SloSignal &signal, SimTime now);
     std::uint32_t readyReplicas(const DeploymentState &ds) const;
@@ -223,8 +292,17 @@ class ClusterSimulation
     void addPod(DeploymentState &ds, bool instant);
     void removePod(DeploymentState &ds);
     void reapDrained(DeploymentState &ds);
-    void dispatch(DeploymentState &ds, WorkItem item);
+    void dispatch(DeploymentState &ds, const WorkItem &item);
+    ERC_HOT_PATH
     void onArrival();
+    ERC_HOT_PATH
+    void rpcArrive(std::uint32_t slot, std::uint16_t ordinal);
+    ERC_HOT_PATH
+    void componentDone(std::uint32_t slot, SimTime done);
+    void monoDone(const WorkItem &item, SimTime done);
+    void sparseLegDone(const WorkItem &item, SimTime done);
+    void podReady(std::uint64_t pod_id, std::uint16_t ordinal);
+    void onFailure(std::size_t failure_idx);
     void scheduleNextArrival();
     void hpaTick();
     void sampleTick(SimTime end);
@@ -248,12 +326,30 @@ class ClusterSimulation
 
     std::vector<std::string> deploymentOrder_;
     std::map<std::string, DeploymentState> deployments_;
+    /** Plan-order view of deployments_ (map nodes are stable). */
+    std::vector<DeploymentState *> depByOrdinal_;
     std::string frontendName_;
+    DeploymentState *frontend_ = nullptr;
+    cluster::MetricsRegistry::Series *frontendSeries_ = nullptr;
+    std::uint32_t numSparse_ = 0;
     std::uint64_t nextPodId_ = 1;
+
+    QueryArena arena_;
+    /** Scratch for dispatch(): reused across calls, bounded by the
+     *  largest deployment's pod count. */
+    std::vector<cluster::LbCandidate> lbScratch_;
+
+    /** Bin-pack result cache: the pod population changes only on pod
+     *  add/reap, not per sample, so liveNodes() reuses the last pack
+     *  until the set is dirtied. */
+    mutable bool packDirty_ = true;
+    mutable std::uint32_t packedNodes_ = 0;
 
     // Run-scoped accumulators.
     SimResult result_;
-    PercentileTracker latencyAll_;
+    /** Streaming sketch over all completion latencies (ms): exact
+     *  count/mean, p95 within the sketch's 1% relative accuracy. */
+    obs::QuantileSketch latencyAll_;
     SimTime endTime_ = 0;
     std::uint64_t lostQueries_ = 0;
 

@@ -1,45 +1,63 @@
 #include "elasticrec/sim/event_queue.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "elasticrec/common/error.h"
 
 namespace erec::sim {
 
 void
-EventQueue::schedule(SimTime t, Action action)
+EventQueue::schedule(SimTime t, EventType type, std::uint64_t a,
+                     std::uint64_t b)
 {
     ERC_CHECK(t >= now_, "cannot schedule an event in the past (t="
                              << t << ", now=" << now_ << ")");
-    ERC_CHECK(action != nullptr, "null event action");
-    events_.push(Event{t, nextSeq_++, std::move(action)});
+    // ERC_HOT_PATH_ALLOW("amortized heap growth: the backing vector doubles cold and is recycled for the rest of the run; AllocGate pins the steady state at zero")
+    heap_.push_back(EventRecord{t, nextSeq_++, a, b, type});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void
-EventQueue::scheduleAfter(SimTime delay, Action action)
+EventQueue::scheduleAfter(SimTime delay, EventType type, std::uint64_t a,
+                          std::uint64_t b)
 {
-    ERC_CHECK(delay >= 0, "delay must be non-negative");
-    schedule(now_ + delay, std::move(action));
+    ERC_CHECK(delay >= 0, "delay must be non-negative (delay=" << delay
+                                                              << ")");
+    ERC_CHECK(delay <= std::numeric_limits<SimTime>::max() - now_,
+              "delay overflows the simulation clock (now="
+                  << now_ << ", delay=" << delay << ")");
+    schedule(now_ + delay, type, a, b);
+}
+
+EventRecord
+EventQueue::popTop()
+{
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const EventRecord ev = heap_.back();
+    heap_.pop_back();
+    now_ = ev.time;
+    ++executed_;
+    return ev;
 }
 
 bool
-EventQueue::runOne()
+EventQueue::runOne(EventSink &sink)
 {
-    if (events_.empty())
+    if (heap_.empty())
         return false;
-    // priority_queue::top returns const&; move out via const_cast is
-    // unsafe with heap invariants, so copy the action handle instead.
-    Event ev = events_.top();
-    events_.pop();
-    now_ = ev.time;
-    ++executed_;
-    ev.action();
+    const EventRecord ev = popTop();
+    sink.onEvent(ev);
     return true;
 }
 
 void
-EventQueue::runUntil(SimTime end)
+EventQueue::runUntil(SimTime end, EventSink &sink)
 {
-    while (!events_.empty() && events_.top().time <= end)
-        runOne();
+    while (!heap_.empty() && heap_.front().time <= end) {
+        const EventRecord ev = popTop();
+        sink.onEvent(ev);
+    }
     if (now_ < end)
         now_ = end;
 }

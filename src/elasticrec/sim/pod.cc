@@ -10,76 +10,96 @@ Pod::Pod(std::uint64_t id, std::vector<SimTime> stage_latencies)
     : id_(id)
 {
     ERC_CHECK(!stage_latencies.empty(), "pod needs at least one stage");
-    for (auto t : stage_latencies) {
-        ERC_CHECK(t > 0, "stage latency must be positive");
-        stages_.push_back(Stage{t, false, {}});
+    stages_.resize(stage_latencies.size());
+    for (std::size_t i = 0; i < stage_latencies.size(); ++i) {
+        ERC_CHECK(stage_latencies[i] > 0,
+                  "stage latency must be positive");
+        stages_[i].nominal = stage_latencies[i];
+        // Pre-size the stage queue: pod construction is a cold
+        // (scale-up) step, while push() runs inside the gated query
+        // path — a fresh pod's early ring doublings would show up as
+        // per-query allocations there.
+        stages_[i].queue.reserve(64);
     }
 }
 
-// ERC_HOT_PATH_ALLOW("simulator time-domain: shares the `submit` base name with the dispatcher root, but models queueing in virtual time, not the serving hot path")
 void
-Pod::submit(EventQueue &queue, WorkItem item)
+Pod::submit(EventQueue &queue, PodSink &sink, const WorkItem &item)
 {
     ERC_CHECK(state_ == PodState::Ready,
               "cannot submit work to a pod that is not ready");
-    ERC_CHECK(item.onDone != nullptr, "work item needs a completion");
     ++inFlight_;
-    stages_[0].queue.push_back(std::move(item));
-    tryStart(queue, 0);
+    stages_[0].queue.push(item);
+    tryStart(queue, sink, 0);
 }
 
 void
-Pod::tryStart(EventQueue &queue, std::size_t stage_idx)
+Pod::tryStart(EventQueue &queue, PodSink &sink, std::size_t stage_idx)
 {
     Stage &stage = stages_[stage_idx];
     if (stage.busy || stage.queue.empty())
         return;
     stage.busy = true;
-    WorkItem item = std::move(stage.queue.front());
-    stage.queue.pop_front();
+    stage.inService = stage.queue.pop();
 
     const auto service = std::max<SimTime>(
-        1, static_cast<SimTime>(
-               static_cast<double>(stage.nominal) * item.jitter + 0.5));
+        1, static_cast<SimTime>(static_cast<double>(stage.nominal) *
+                                    stage.inService.jitter +
+                                0.5));
     busyTime_ += service;
-    if (stage_idx == 0 && item.onStart)
-        item.onStart(queue.now());
+    if (stage_idx == 0) {
+        stage.inService.svcStart = queue.now();
+        sink.workStarted(stage.inService, queue.now());
+    }
     queue.scheduleAfter(
-        service, [this, &queue, stage_idx, item = std::move(item)]() mutable {
-            stages_[stage_idx].busy = false;
-            if (state_ == PodState::Crashed) {
-                // The container died while this request was in
-                // service: the work is lost.
-                --inFlight_;
-                ++lost_;
-                return;
-            }
-            if (stage_idx + 1 < stages_.size()) {
-                stages_[stage_idx + 1].queue.push_back(std::move(item));
-                tryStart(queue, stage_idx + 1);
-                tryStart(queue, stage_idx);
-            } else {
-                --inFlight_;
-                ++served_;
-                tryStart(queue, stage_idx);
-                // The completion callback runs last: it may terminate
-                // and destroy this pod once it observes drained().
-                item.onDone(queue.now());
-            }
-        });
+        service, EventType::kStageDone,
+        static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(this)),
+        stage_idx);
+}
+
+void
+Pod::stageDone(EventQueue &queue, PodSink &sink, std::size_t stage_idx)
+{
+    Stage &stage = stages_[stage_idx];
+    ERC_CHECK(stage.busy, "kStageDone for an idle stage");
+    stage.busy = false;
+    const WorkItem item = stage.inService;
+    if (state_ == PodState::Crashed) {
+        // The container died while this request was in service: the
+        // work is lost.
+        --inFlight_;
+        ++lost_;
+        sink.workLost(item);
+        return;
+    }
+    if (stage_idx + 1 < stages_.size()) {
+        stages_[stage_idx + 1].queue.push(item);
+        tryStart(queue, sink, stage_idx + 1);
+        tryStart(queue, sink, stage_idx);
+    } else {
+        --inFlight_;
+        ++served_;
+        tryStart(queue, sink, stage_idx);
+        // The completion notification runs last: the sink may
+        // terminate and destroy this pod once it observes drained().
+        sink.workDone(item, queue.now());
+    }
 }
 
 std::vector<WorkItem>
-Pod::crash()
+Pod::crash(PodSink &sink)
 {
     auto requeue = stealQueued();
     state_ = PodState::Crashed;
     // Work parked between pipeline stages dies with the container.
+    // In-service work (busy stages) is lost later, when its pending
+    // kStageDone event fires and sees the Crashed state.
     for (std::size_t i = 1; i < stages_.size(); ++i) {
         auto &q = stages_[i].queue;
         lost_ += q.size();
         inFlight_ -= static_cast<std::uint32_t>(q.size());
-        q.clear();
+        while (!q.empty())
+            sink.workLost(q.pop());
     }
     return requeue;
 }
@@ -103,10 +123,9 @@ Pod::stealQueued()
     std::vector<WorkItem> stolen;
     auto &q = stages_[0].queue;
     stolen.reserve(q.size());
-    for (auto &item : q)
-        stolen.push_back(std::move(item));
-    inFlight_ -= static_cast<std::uint32_t>(q.size());
-    q.clear();
+    while (!q.empty())
+        stolen.push_back(q.pop());
+    inFlight_ -= static_cast<std::uint32_t>(stolen.size());
     return stolen;
 }
 

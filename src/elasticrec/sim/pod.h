@@ -15,13 +15,19 @@
  * -> Ready (serving) -> Terminating (draining) -> removed. Memory is
  * held from Starting until removal, which is what makes the baseline's
  * slow, heavyweight scale-out visible in Figure 19.
+ *
+ * Completion is static dispatch, not captured closures: a stage finish
+ * is a kStageDone event (payload = this pod + stage index) whose
+ * handler calls stageDone(), and queue-exit/completion/loss are
+ * reported through the PodSink interface. WorkItems are POD and ride
+ * through Ring queues by value, so the steady path never allocates.
  */
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <type_traits>
 #include <vector>
 
+#include "elasticrec/common/ring.h"
 #include "elasticrec/obs/trace_context.h"
 #include "elasticrec/sim/event_queue.h"
 
@@ -35,22 +41,62 @@ enum class PodState
     Crashed,
 };
 
-/** Work submitted to a pod. */
+/** What a work item is a leg of; the sink switches on this. */
+enum class WorkKind : std::uint8_t
+{
+    None = 0,
+    /** Whole query on a monolithic pod. */
+    Mono,
+    /** Dense (bottom-MLP) leg of an ElasticRec query. */
+    DenseLeg,
+    /** One sparse shard's gather leg of an ElasticRec query. */
+    SparseLeg,
+};
+
+/** Work submitted to a pod. POD: items are copied through stage rings
+ *  and event payloads; all context is plain data. */
 struct WorkItem
 {
     /** Multiplicative service-time jitter (1.0 = nominal). */
     double jitter = 1.0;
     /** Causal trace context this item runs under; zero for untraced
      *  work. Pods don't record spans themselves — the context rides
-     *  along so dispatch callbacks can scope what they record, exactly
-     *  like the RPC-header propagation in the functional stack. */
+     *  along so the sink can scope what it records, exactly like the
+     *  RPC-header propagation in the functional stack. */
     obs::TraceContext trace = {};
-    /** Invoked when the first stage starts serving (queue exit). Used
-     *  by tracing to split queueing delay from service time; null for
-     *  untraced work. */
-    std::function<void(SimTime start)> onStart;
-    /** Invoked when the last stage completes. */
-    std::function<void(SimTime completion)> onDone;
+    /** Queue-entry reference time (query arrival for frontend legs,
+     *  RPC arrival for sparse legs); anchors the sink's queue spans. */
+    SimTime t0 = 0;
+    /** First-stage service start, written by the pod at queue exit;
+     *  anchors the sink's service spans. */
+    SimTime svcStart = 0;
+    /** Owning query's arena slot. */
+    std::uint32_t ctx = 0;
+    /** Deployment ordinal (plan order) this item targets. */
+    std::uint16_t dep = 0;
+    WorkKind kind = WorkKind::None;
+};
+static_assert(std::is_trivially_copyable_v<WorkItem>,
+              "work items must stay POD: they are queued by value and "
+              "carried through event payloads");
+
+/**
+ * Receiver of pod-side work lifecycle notifications. One implementor
+ * (the cluster simulation) handles every pod; item.kind/ctx/dep say
+ * what completed.
+ */
+class PodSink
+{
+  public:
+    /** First stage started serving the item (queue exit). */
+    virtual void workStarted(const WorkItem &item, SimTime start) = 0;
+    /** Last stage completed the item. */
+    virtual void workDone(const WorkItem &item, SimTime done) = 0;
+    /** The item died with a crashed pod (never completes). */
+    virtual void workLost(const WorkItem &item) = 0;
+
+  protected:
+    ~PodSink() = default;
 };
 
 class Pod
@@ -71,9 +117,10 @@ class Pod
     /**
      * Crash the pod (failure injection). Work queued at the first
      * stage is returned for re-dispatch; work deeper in the pipeline
-     * or in service is lost (its completion callback never fires).
+     * is lost immediately (reported via sink.workLost), and work in
+     * service is lost when its pending stage event fires.
      */
-    std::vector<WorkItem> crash();
+    std::vector<WorkItem> crash(PodSink &sink);
 
     /** Items lost to a crash so far. */
     std::uint64_t lostItems() const { return lost_; }
@@ -88,11 +135,23 @@ class Pod
     }
 
     /** True when the pod can be destroyed (drained or crash-settled:
-     *  every outstanding service event has fired). */
+     *  every outstanding service event has fired). A removable pod has
+     *  no pending kStageDone events, so destroying it cannot leave a
+     *  dangling pod pointer in the event heap. */
     bool removable() const;
 
     /** Submit one request; the pod must be Ready. */
-    void submit(EventQueue &queue, WorkItem item);
+    ERC_HOT_PATH
+    void submit(EventQueue &queue, PodSink &sink, const WorkItem &item);
+
+    /**
+     * Handle a kStageDone event for this pod: the given stage's
+     * in-service item finished. Advances it to the next stage, or
+     * reports completion/loss through the sink.
+     */
+    ERC_HOT_PATH
+    void stageDone(EventQueue &queue, PodSink &sink,
+                   std::size_t stage_idx);
 
     /**
      * Remove not-yet-started work from the first stage (used when the
@@ -110,12 +169,17 @@ class Pod
   private:
     struct Stage
     {
-        SimTime nominal;
+        SimTime nominal = 0;
         bool busy = false;
-        std::deque<WorkItem> queue;
+        Ring<WorkItem> queue;
+        /** The item being served while busy; the pending kStageDone
+         *  event refers to it implicitly. */
+        WorkItem inService = {};
     };
 
-    void tryStart(EventQueue &queue, std::size_t stage_idx);
+    ERC_HOT_PATH
+    void tryStart(EventQueue &queue, PodSink &sink,
+                  std::size_t stage_idx);
 
     std::uint64_t id_;
     PodState state_ = PodState::Starting;

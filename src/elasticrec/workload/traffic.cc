@@ -1,7 +1,9 @@
 #include "elasticrec/workload/traffic.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <numbers>
 
 #include "elasticrec/common/error.h"
 
@@ -62,6 +64,30 @@ TrafficPattern::randomWalk(double start_qps, double min_qps,
         steps.push_back({t, rate});
         rate = std::clamp(rate * rng.uniform(0.5, 2.0), min_qps,
                           max_qps);
+    }
+    return TrafficPattern(std::move(steps));
+}
+
+TrafficPattern
+TrafficPattern::diurnal(const DiurnalOptions &options)
+{
+    ERC_CHECK(options.troughQps > 0 &&
+                  options.troughQps <= options.peakQps,
+              "need 0 < trough <= peak");
+    ERC_CHECK(options.step > 0 && options.period > options.step,
+              "need a positive step shorter than the period");
+    ERC_CHECK(options.duration > options.step,
+              "need a duration longer than one step");
+    const double swing = options.peakQps - options.troughQps;
+    std::vector<Step> steps;
+    for (SimTime t = 0; t < options.duration; t += options.step) {
+        // Raised cosine: trough at phase 0, peak at phase pi.
+        const double phase = 2.0 * std::numbers::pi *
+                             static_cast<double>(t % options.period) /
+                             static_cast<double>(options.period);
+        const double rate =
+            options.troughQps + swing * 0.5 * (1.0 - std::cos(phase));
+        steps.push_back({t, rate});
     }
     return TrafficPattern(std::move(steps));
 }

@@ -55,6 +55,30 @@ class TrafficPattern
                                      SimTime duration,
                                      std::uint64_t seed = 17);
 
+    struct DiurnalOptions
+    {
+        /** Rate at the daily trough (t = 0). */
+        double troughQps = 20.0;
+        /** Rate at the daily peak (t = period / 2). */
+        double peakQps = 100.0;
+        /** Length of one trough-to-trough cycle. */
+        SimTime period = 60 * units::kMinute;
+        /** Width of each piecewise-constant step. */
+        SimTime step = units::kMinute;
+        /** Total schedule length (cycles repeat until here). */
+        SimTime duration = 120 * units::kMinute;
+    };
+
+    /**
+     * Smooth diurnal (day/night) traffic: a raised-cosine cycle between
+     * troughQps and peakQps, discretized into piecewise-constant steps.
+     * This is the shape production recommender fleets autoscale
+     * against — long, predictable swells rather than fig19's abrupt
+     * staircase — and the schedule the sim throughput bench replays at
+     * million-query scale.
+     */
+    static TrafficPattern diurnal(const DiurnalOptions &options);
+
     /** Target rate at simulated time t (queries per second). */
     double qpsAt(SimTime t) const;
 

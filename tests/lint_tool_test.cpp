@@ -194,6 +194,39 @@ TEST(LintToolTest, IostreamOnlyOutsideLibrary)
                          "iostream-in-library"));
 }
 
+TEST(LintToolTest, SimStdFunctionOnlyOutsideSimHeaders)
+{
+    const std::string bad =
+        "#pragma once\nstruct S { std::function<void()> cb; };\n";
+    EXPECT_TRUE(hasRule(
+        lintContent("src/elasticrec/sim/event_queue.h", bad),
+        "sim-std-function"));
+    // Only sim/ library headers are in scope: the event engine's POD
+    // dispatch contract does not bind the rest of the library, sim
+    // sources, or tests.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/runtime/thread_pool.h", bad),
+        "sim-std-function"));
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/sim/cluster_sim.cc",
+                    "std::function<void()> cb;\n"),
+        "sim-std-function"));
+    EXPECT_FALSE(hasRule(lintContent("tests/sim_test.cpp",
+                                     "std::function<void()> cb;\n"),
+                         "sim-std-function"));
+    // Mentions in comments are stripped before matching.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/sim/pod.h",
+                    "#pragma once\n// std::function<void()> is banned\n"),
+        "sim-std-function"));
+    // Escape hatch for a deliberate exception.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/sim/hook.h",
+                    "#pragma once\nstd::function<void()> cb; "
+                    "// erec-lint: allow(sim-std-function)\n"),
+        "sim-std-function"));
+}
+
 TEST(LintToolTest, HeaderHygiene)
 {
     EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.h",

@@ -1,11 +1,13 @@
 /**
  * @file
  * Tests for the simulated pod: queueing, multi-stage pipelining,
- * jitter, lifecycle and drain semantics.
+ * jitter, lifecycle and drain semantics, driven through the POD event
+ * queue and a recording PodSink.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "elasticrec/common/error.h"
@@ -14,28 +16,63 @@
 namespace erec::sim {
 namespace {
 
-WorkItem
-item(std::vector<SimTime> &done, double jitter = 1.0)
+/** Routes kStageDone events back to their pod and records the sink
+ *  notifications, standing in for the cluster simulation. */
+struct PodHarness final : EventSink, PodSink
 {
-    WorkItem w;
-    w.jitter = jitter;
-    w.onDone = [&done](SimTime t) { done.push_back(t); };
-    return w;
-}
+    EventQueue q;
+    std::vector<SimTime> started;
+    std::vector<SimTime> done;
+    std::uint64_t lost = 0;
+
+    void
+    onEvent(const EventRecord &event) override
+    {
+        ASSERT_EQ(event.type, EventType::kStageDone);
+        reinterpret_cast<Pod *>(static_cast<std::uintptr_t>(event.a))
+            ->stageDone(q, *this,
+                        static_cast<std::size_t>(event.b));
+    }
+
+    void
+    workStarted(const WorkItem &, SimTime start) override
+    {
+        started.push_back(start);
+    }
+
+    void
+    workDone(const WorkItem &, SimTime t) override
+    {
+        done.push_back(t);
+    }
+
+    void workLost(const WorkItem &) override { ++lost; }
+
+    void submit(Pod &pod, double jitter = 1.0)
+    {
+        WorkItem w;
+        w.jitter = jitter;
+        w.t0 = q.now();
+        pod.submit(q, *this, w);
+    }
+
+    void run(SimTime end) { q.runUntil(end, *this); }
+};
 
 TEST(PodTest, SingleStageFifoQueueing)
 {
-    EventQueue q;
+    PodHarness h;
     Pod pod(1, {100});
     pod.markReady();
-    std::vector<SimTime> done;
-    pod.submit(q, item(done));
-    pod.submit(q, item(done));
-    pod.submit(q, item(done));
+    for (int i = 0; i < 3; ++i)
+        h.submit(pod);
     EXPECT_EQ(pod.inFlight(), 3u);
-    q.runUntil(1000);
+    h.run(1000);
     // Serial service: completions at 100, 200, 300.
-    EXPECT_EQ(done, (std::vector<SimTime>{100, 200, 300}));
+    EXPECT_EQ(h.done, (std::vector<SimTime>{100, 200, 300}));
+    // Queue-exit times: item 0 starts immediately, the rest as the
+    // stage frees up.
+    EXPECT_EQ(h.started, (std::vector<SimTime>{0, 100, 200}));
     EXPECT_EQ(pod.served(), 3u);
     EXPECT_EQ(pod.inFlight(), 0u);
 }
@@ -44,66 +81,60 @@ TEST(PodTest, TwoStagePipelineThroughput)
 {
     // Stages of 100 and 50: latency = 150, but steady-state spacing is
     // governed by the slower stage (100) — the Figure 4 premise.
-    EventQueue q;
+    PodHarness h;
     Pod pod(1, {100, 50});
     pod.markReady();
-    std::vector<SimTime> done;
     for (int i = 0; i < 4; ++i)
-        pod.submit(q, item(done));
-    q.runUntil(10000);
-    EXPECT_EQ(done,
-              (std::vector<SimTime>{150, 250, 350, 450}));
+        h.submit(pod);
+    h.run(10000);
+    EXPECT_EQ(h.done, (std::vector<SimTime>{150, 250, 350, 450}));
 }
 
 TEST(PodTest, SlowSecondStageGovernsToo)
 {
-    EventQueue q;
+    PodHarness h;
     Pod pod(1, {50, 100});
     pod.markReady();
-    std::vector<SimTime> done;
     for (int i = 0; i < 3; ++i)
-        pod.submit(q, item(done));
-    q.runUntil(10000);
+        h.submit(pod);
+    h.run(10000);
     // First completion at 150; subsequent at +100 each.
-    EXPECT_EQ(done, (std::vector<SimTime>{150, 250, 350}));
+    EXPECT_EQ(h.done, (std::vector<SimTime>{150, 250, 350}));
 }
 
 TEST(PodTest, JitterScalesServiceTime)
 {
-    EventQueue q;
+    PodHarness h;
     Pod pod(1, {100});
     pod.markReady();
-    std::vector<SimTime> done;
-    pod.submit(q, item(done, 2.0));
-    q.runUntil(10000);
-    EXPECT_EQ(done, (std::vector<SimTime>{200}));
+    h.submit(pod, 2.0);
+    h.run(10000);
+    EXPECT_EQ(h.done, (std::vector<SimTime>{200}));
 }
 
 TEST(PodTest, SubmitRequiresReady)
 {
-    EventQueue q;
+    PodHarness h;
     Pod pod(1, {100});
-    std::vector<SimTime> done;
-    EXPECT_THROW(pod.submit(q, item(done)), ConfigError);
+    EXPECT_THROW(h.submit(pod), ConfigError);
 }
 
 TEST(PodTest, StealQueuedLeavesInService)
 {
-    EventQueue q;
+    PodHarness h;
     Pod pod(1, {100});
     pod.markReady();
-    std::vector<SimTime> done;
     for (int i = 0; i < 5; ++i)
-        pod.submit(q, item(done));
+        h.submit(pod);
     // One item is in service, four are queued.
     auto stolen = pod.stealQueued();
     EXPECT_EQ(stolen.size(), 4u);
     EXPECT_EQ(pod.inFlight(), 1u);
     pod.markTerminating();
     EXPECT_FALSE(pod.drained());
-    q.runUntil(1000);
+    h.run(1000);
     EXPECT_TRUE(pod.drained());
-    EXPECT_EQ(done.size(), 1u);
+    EXPECT_EQ(h.done.size(), 1u);
 }
 
 TEST(PodTest, RejectsEmptyStages)
@@ -114,67 +145,108 @@ TEST(PodTest, RejectsEmptyStages)
 
 TEST(PodTest, ManyItemsThroughputMatchesBottleneck)
 {
-    EventQueue q;
+    PodHarness h;
     Pod pod(1, {10, 30, 20});
     pod.markReady();
-    std::vector<SimTime> done;
     const int n = 100;
     for (int i = 0; i < n; ++i)
-        pod.submit(q, item(done));
-    q.runUntil(100000);
-    ASSERT_EQ(done.size(), static_cast<std::size_t>(n));
+        h.submit(pod);
+    h.run(100000);
+    ASSERT_EQ(h.done.size(), static_cast<std::size_t>(n));
     // Steady-state inter-completion gap equals the slowest stage (30).
-    for (std::size_t i = 10; i < done.size(); ++i)
-        EXPECT_EQ(done[i] - done[i - 1], 30);
+    for (std::size_t i = 10; i < h.done.size(); ++i)
+        EXPECT_EQ(h.done[i] - h.done[i - 1], 30);
 }
 
 TEST(PodTest, CrashReturnsQueuedAndLosesInService)
 {
-    EventQueue q;
+    PodHarness h;
     Pod pod(1, {100});
     pod.markReady();
-    std::vector<SimTime> done;
     for (int i = 0; i < 5; ++i)
-        pod.submit(q, item(done));
+        h.submit(pod);
     // One in service + four queued; crash returns the four.
-    auto requeue = pod.crash();
+    auto requeue = pod.crash(h);
     EXPECT_EQ(requeue.size(), 4u);
     EXPECT_EQ(pod.state(), PodState::Crashed);
     EXPECT_FALSE(pod.removable()); // in-service event still pending
-    q.runUntil(1000);
-    // The in-service item died with the pod: no completion fired.
-    EXPECT_TRUE(done.empty());
+    h.run(1000);
+    // The in-service item died with the pod: no completion fired, and
+    // its loss was reported when the stage event landed.
+    EXPECT_TRUE(h.done.empty());
+    EXPECT_EQ(h.lost, 1u);
     EXPECT_EQ(pod.lostItems(), 1u);
     EXPECT_TRUE(pod.removable());
 }
 
 TEST(PodTest, CrashLosesMidPipelineWork)
 {
-    EventQueue q;
+    PodHarness h;
     Pod pod(1, {100, 100});
     pod.markReady();
-    std::vector<SimTime> done;
     for (int i = 0; i < 3; ++i)
-        pod.submit(q, item(done));
+        h.submit(pod);
     // Advance so item 0 sits in stage 2 and item 1 in stage 1.
-    q.runUntil(150);
-    auto requeue = pod.crash();
+    h.run(150);
+    auto requeue = pod.crash(h);
     EXPECT_EQ(requeue.size(), 1u); // item 2 still queued at stage 1
-    q.runUntil(5000);
-    EXPECT_TRUE(done.empty());
+    h.run(5000);
+    EXPECT_TRUE(h.done.empty());
     EXPECT_EQ(pod.lostItems(), 2u);
+    EXPECT_EQ(h.lost, 2u);
     EXPECT_TRUE(pod.removable());
 }
 
 TEST(PodTest, CrashOnIdlePodIsImmediatelyRemovable)
 {
-    EventQueue q;
+    PodHarness h;
     Pod pod(1, {100});
     pod.markReady();
-    auto requeue = pod.crash();
+    auto requeue = pod.crash(h);
     EXPECT_TRUE(requeue.empty());
     EXPECT_TRUE(pod.removable());
     EXPECT_EQ(pod.lostItems(), 0u);
+}
+
+TEST(PodTest, WorkItemPayloadRidesThrough)
+{
+    // The sink, not the pod, owns item semantics: ctx/dep/kind must
+    // come back exactly as submitted.
+    struct PayloadSink final : EventSink, PodSink
+    {
+        EventQueue q;
+        WorkItem last = {};
+
+        void
+        onEvent(const EventRecord &event) override
+        {
+            reinterpret_cast<Pod *>(
+                static_cast<std::uintptr_t>(event.a))
+                ->stageDone(q, *this,
+                            static_cast<std::size_t>(event.b));
+        }
+        void workStarted(const WorkItem &, SimTime) override {}
+        void
+        workDone(const WorkItem &item, SimTime) override
+        {
+            last = item;
+        }
+        void workLost(const WorkItem &) override {}
+    };
+    PayloadSink sink;
+    Pod pod(1, {10});
+    pod.markReady();
+    WorkItem w;
+    w.ctx = 42;
+    w.dep = 3;
+    w.kind = WorkKind::SparseLeg;
+    w.t0 = 0;
+    pod.submit(sink.q, sink, w);
+    sink.q.runUntil(100, sink);
+    EXPECT_EQ(sink.last.ctx, 42u);
+    EXPECT_EQ(sink.last.dep, 3u);
+    EXPECT_EQ(sink.last.kind, WorkKind::SparseLeg);
+    EXPECT_EQ(sink.last.svcStart, 0);
 }
 
 } // namespace

@@ -48,6 +48,51 @@ TEST(TrafficPatternTest, Fig19Schedule)
     EXPECT_DOUBLE_EQ(p.qpsAt(24 * units::kMinute), 20.0);
 }
 
+TEST(TrafficPatternTest, DiurnalRaisedCosine)
+{
+    TrafficPattern::DiurnalOptions d;
+    d.troughQps = 100.0;
+    d.peakQps = 500.0;
+    d.period = 4 * units::kMinute;
+    d.step = units::kSecond;
+    d.duration = 8 * units::kMinute;
+    const auto p = TrafficPattern::diurnal(d);
+
+    // Trough at the cycle boundaries, peak at half period, midpoint
+    // of the swing at the quarter points.
+    EXPECT_DOUBLE_EQ(p.qpsAt(0), 100.0);
+    EXPECT_DOUBLE_EQ(p.qpsAt(2 * units::kMinute), 500.0);
+    EXPECT_NEAR(p.qpsAt(units::kMinute), 300.0, 1e-9);
+    EXPECT_NEAR(p.qpsAt(3 * units::kMinute), 300.0, 1e-9);
+    // Cycles repeat across the full schedule.
+    EXPECT_DOUBLE_EQ(p.qpsAt(4 * units::kMinute), 100.0);
+    EXPECT_DOUBLE_EQ(p.qpsAt(6 * units::kMinute), 500.0);
+    // The rate never leaves the [trough, peak] envelope.
+    for (SimTime t = 0; t < d.duration; t += d.step) {
+        EXPECT_GE(p.qpsAt(t), d.troughQps);
+        EXPECT_LE(p.qpsAt(t), d.peakQps);
+    }
+}
+
+TEST(TrafficPatternTest, DiurnalRejectsBadOptions)
+{
+    TrafficPattern::DiurnalOptions d;
+    d.troughQps = -1.0;
+    EXPECT_THROW(TrafficPattern::diurnal(d), ConfigError);
+    d = {};
+    d.peakQps = d.troughQps - 1.0;
+    EXPECT_THROW(TrafficPattern::diurnal(d), ConfigError);
+    d = {};
+    d.step = 0;
+    EXPECT_THROW(TrafficPattern::diurnal(d), ConfigError);
+    d = {};
+    d.period = d.step / 2;
+    EXPECT_THROW(TrafficPattern::diurnal(d), ConfigError);
+    d = {};
+    d.duration = 0;
+    EXPECT_THROW(TrafficPattern::diurnal(d), ConfigError);
+}
+
 TEST(TrafficPatternTest, RejectsBadSteps)
 {
     EXPECT_THROW(TrafficPattern({}), ConfigError);

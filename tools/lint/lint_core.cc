@@ -111,6 +111,9 @@ struct LineRule
     /** Directory components exempt from the rule (the blessed home
      *  when it is a whole module, e.g. runtime/ for std::thread). */
     std::vector<std::string> exemptDirs;
+    /** When non-empty, the rule applies ONLY under these directory
+     *  components (e.g. sim/ for the closure-free event engine). */
+    std::vector<std::string> onlyDirs;
 };
 
 const std::vector<LineRule> &
@@ -186,6 +189,20 @@ lineRules()
             {FileClass::LibrarySource, FileClass::LibraryHeader},
             {},
             {},
+            {},
+        },
+        {
+            "sim-std-function",
+            std::regex(R"(\bstd\s*::\s*function\s*<)"),
+            "std::function in a sim/ library header; the event engine "
+            "dispatches POD EventRecords through EventSink/PodSink "
+            "(elasticrec/sim/event_queue.h) — captured closures "
+            "heap-allocate on the gated query path (DESIGN.md "
+            "section 13)",
+            {FileClass::LibraryHeader},
+            {},
+            {},
+            {"sim"},
         },
     };
     return kRules;
@@ -204,6 +221,14 @@ ruleApplies(const LineRule &rule, FileClass cls, const std::string &path)
     }
     for (const auto &dir : rule.exemptDirs) {
         if (hasDirComponent(path, dir))
+            return false;
+    }
+    if (!rule.onlyDirs.empty()) {
+        bool inside = false;
+        for (const auto &dir : rule.onlyDirs)
+            if (hasDirComponent(path, dir))
+                inside = true;
+        if (!inside)
             return false;
     }
     return true;
