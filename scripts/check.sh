@@ -7,6 +7,8 @@
 #   scripts/check.sh lint    # erec_lint + clang-tidy (if installed)
 #   scripts/check.sh arch    # include-graph / layer-DAG gate + header check
 #   scripts/check.sh hotpath # ERC_HOT_PATH static allocation/blocking gate
+#   scripts/check.sh concurrency # lock-order / blocking-under-lock gate
+#   scripts/check.sh tsan-stress # TSan repeat-run of the concurrency tests
 #   scripts/check.sh smoke   # run example + fig bench, validate telemetry
 #   scripts/check.sh bench   # serving throughput sweep + benchdiff gate
 #   scripts/check.sh kernels # kernel-backend sweep + benchdiff gate
@@ -310,6 +312,99 @@ SEED
     fi
 }
 
+# Static concurrency-discipline gate: erec_conclint builds the
+# lock-acquisition graph from every scoped-lock site, reports
+# lock-order inversion cycles with both concrete acquisition paths,
+# flags blocking calls (sleeps, I/O, predicate-less cv waits, future
+# joins, transitively blocking callees) inside held-lock scopes, and
+# enforces ERC_GUARDED_BY annotation coverage (DESIGN.md section 14).
+# Also self-tests the analyzer against a seeded two-lock inversion: a
+# gate that cannot fail is not a gate. Set ELASTICREC_CONCLINT_OUT to
+# keep the JSON report (CI uploads conclint.json as the
+# concurrency-report artifact); by default a temp dir is used and
+# removed.
+stage_concurrency() {
+    local tree="$repo_root/build-check-release"
+    cmake -B "$tree" -S "$repo_root" "${cmake_launcher_args[@]}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DELASTICREC_WERROR=ON
+    cmake --build "$tree" -j "$jobs" --target erec_conclint
+    local out
+    if [ -n "${ELASTICREC_CONCLINT_OUT:-}" ]; then
+        out="$ELASTICREC_CONCLINT_OUT"
+        mkdir -p "$out"
+    else
+        out="$(mktemp -d)"
+        trap 'rm -rf "$out"' RETURN
+    fi
+    local conclint="$tree/tools/conclint/erec_conclint"
+    (cd "$repo_root" && "$conclint" --root src --format text)
+    (cd "$repo_root" && "$conclint" --root src --format json) \
+        > "$out/conclint.json"
+
+    # Seeded-violation self-test: two functions acquiring the same
+    # mutex pair in opposite orders — one of them through a helper —
+    # must fail and print both acquisition call paths.
+    local seed="$out/conclint-selftest"
+    mkdir -p "$seed/src"
+    cat > "$seed/src/inverted.cc" <<'SEED'
+#include <mutex>
+namespace seeded {
+std::mutex a_;
+std::mutex b_;
+void lockAB()
+{
+    std::lock_guard<std::mutex> ga(a_);
+    std::lock_guard<std::mutex> gb(b_);
+}
+void helper()
+{
+    std::lock_guard<std::mutex> ga(a_);
+}
+void lockBA()
+{
+    std::lock_guard<std::mutex> gb(b_);
+    helper();
+}
+} // namespace seeded
+SEED
+    local rc=0
+    (cd "$seed" && "$conclint" --root src) > "$seed/report.txt" 2>&1 \
+        || rc=$?
+    if [ "$rc" -ne 1 ]; then
+        echo "conclint self-test: expected exit 1 on seeded" \
+            "inversion, got $rc" >&2
+        cat "$seed/report.txt" >&2
+        exit 1
+    fi
+    if ! grep -q "lockAB" "$seed/report.txt" ||
+        ! grep -q "lockBA" "$seed/report.txt" ||
+        ! grep -q "helper" "$seed/report.txt"; then
+        echo "conclint self-test: report lacks one of the two" \
+            "acquisition call paths" >&2
+        cat "$seed/report.txt" >&2
+        exit 1
+    fi
+}
+
+# Dynamic counterpart of the concurrency gate: rebuild the concurrency
+# test subset under ThreadSanitizer and run it repeatedly
+# (--repeat until-fail:3) with zero suppressions, so real interleaved
+# executions back the lexical lock-graph model. Reuses the tsan stage's
+# build tree.
+stage_tsan_stress() {
+    local tree="$repo_root/build-check-tsan"
+    cmake -B "$tree" -S "$repo_root" "${cmake_launcher_args[@]}" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DELASTICREC_SANITIZE=thread
+    cmake --build "$tree" -j "$jobs" --target \
+        thread_pool_test batch_queue_test runtime_serving_test \
+        tracing_serving_test alloc_tracker_test
+    ctest --test-dir "$tree" --output-on-failure -j "$jobs" \
+        --timeout "$ctest_timeout" \
+        -R '^(thread_pool_test|batch_queue_test|runtime_serving_test|tracing_serving_test|alloc_tracker_test)$' \
+        --repeat until-fail:3
+}
+
 # End-to-end smoke: run the quickstart example and the Figure 19 bench
 # with --metrics-out and full causal tracing (--trace-sample 100 =
 # every 100th query), validate every emitted telemetry file
@@ -353,6 +448,8 @@ case "$stage" in
   lint) stage_lint ;;
   arch) stage_arch ;;
   hotpath) stage_hotpath ;;
+  concurrency) stage_concurrency ;;
+  tsan-stress) stage_tsan_stress ;;
   smoke) stage_smoke ;;
   bench) stage_bench ;;
   kernels) stage_kernels ;;
@@ -364,13 +461,15 @@ case "$stage" in
     stage_lint
     stage_arch
     stage_hotpath
+    stage_concurrency
+    stage_tsan_stress
     stage_smoke
     stage_bench
     stage_kernels
     stage_sim
     ;;
   *)
-    echo "usage: check.sh [build|asan|tsan|lint|arch|hotpath|smoke|bench|kernels|sim|all]" >&2
+    echo "usage: check.sh [build|asan|tsan|lint|arch|hotpath|concurrency|tsan-stress|smoke|bench|kernels|sim|all]" >&2
     exit 2
     ;;
 esac

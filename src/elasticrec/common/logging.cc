@@ -63,6 +63,7 @@ logMessage(LogLevel level, const std::string &msg)
         g_sink(level, msg);
         return;
     }
+    // ERC_CONCLINT_ALLOW("cold path; the lock exists to serialize this fallback write against sink swaps")
     std::fprintf(stderr, "[%s] %s\n", logLevelName(level), msg.c_str());
 }
 

@@ -54,3 +54,22 @@
 /** Escape hatch: function body is exempt from the analysis. */
 #define ERC_NO_THREAD_SAFETY_ANALYSIS \
     ERC_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+/**
+ * Waiver marker for the static concurrency gate (`erec_conclint`,
+ * scripts/check.sh concurrency). Expands to nothing — the analyzer
+ * reads it lexically from the raw source:
+ *
+ *  - On a line (or the line directly above a statement) inside a
+ *    function body it suppresses conclint findings reported at that
+ *    line, and on a mutex member declaration it waives the
+ *    ERC_GUARDED_BY coverage requirement for that member.
+ *  - Directly before a function definition it exempts the whole
+ *    function: the body is not scanned and contributes no lock or
+ *    blocking summaries to callers.
+ *
+ * The reason string is mandatory and should say why the blocking call
+ * or annotation gap is safe (e.g. "cold path; lock only serializes the
+ * write"). Mirrors the hotpath gate's waiver macro (common/hotpath.h).
+ */
+#define ERC_CONCLINT_ALLOW(reason)

@@ -101,6 +101,14 @@ class BatchQueue
      * into `batch`, which is cleared first and whose capacity is
      * reused across calls (hence allocation-free once warm). An empty
      * result means the queue is closed and fully drained.
+     *
+     * Shutdown contract (drain-then-empty): items queued before
+     * close() are never lost. Every popBatch() call after close()
+     * returns residual items in FIFO order — without lingering for
+     * maxBatchDelay, since no more producers can arrive — until the
+     * queue is empty, and from then on returns an empty batch
+     * immediately. "Empty batch" is therefore the one and only
+     * termination signal a consumer needs.
      */
     ERC_HOT_PATH
     void popBatch(std::vector<T> *batch)
@@ -133,7 +141,8 @@ class BatchQueue
 
     /**
      * Reject future pushes and wake every waiter. Items already queued
-     * still drain through popBatch().
+     * still drain through popBatch() — see the drain-then-empty
+     * contract on popBatch(). Idempotent.
      */
     void close()
     {

@@ -134,6 +134,49 @@ TEST(BatchQueueTest, CloseRejectsPushesAndDrainsBacklog)
     EXPECT_EQ(q.totalPushed(), 2u);
 }
 
+// The drain-then-empty shutdown contract (documented on popBatch):
+// residual items queued before close() drain in FIFO order across as
+// many batches as needed, post-close pops never linger for
+// maxBatchDelay, and once drained every further pop returns empty.
+TEST(BatchQueueTest, ShutdownDrainsResidualItemsThenStaysEmpty)
+{
+    // A long linger delay that a post-close pop must NOT pay.
+    BatchQueue<int> q(opts(64, 4, std::chrono::seconds(5)));
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(q.push(i));
+    q.close();
+
+    std::vector<int> seen;
+    std::vector<int> batch;
+    const auto start = std::chrono::steady_clock::now();
+    for (;;) {
+        q.popBatch(&batch);
+        if (batch.empty())
+            break;
+        EXPECT_LE(batch.size(), 4u);
+        seen.insert(seen.end(), batch.begin(), batch.end());
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+
+    std::vector<int> expected(10);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(seen, expected);
+    // 10 items / maxBatchSize 4 => a short final batch of 2, which a
+    // closed queue must flush immediately instead of waiting out the
+    // 5 s delay for producers that can never arrive.
+    EXPECT_LT(elapsed, std::chrono::seconds(1));
+
+    // Drained is terminal: every subsequent pop is empty.
+    q.popBatch(&batch);
+    EXPECT_TRUE(batch.empty());
+    q.popBatch(&batch);
+    EXPECT_TRUE(batch.empty());
+    // close() is idempotent and does not disturb the drained state.
+    q.close();
+    q.popBatch(&batch);
+    EXPECT_TRUE(batch.empty());
+}
+
 TEST(BatchQueueTest, CloseWakesBlockedConsumer)
 {
     BatchQueue<int> q(opts(64, 4, std::chrono::microseconds(0)));

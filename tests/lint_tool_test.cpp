@@ -146,6 +146,38 @@ TEST(LintToolTest, RawThreadOnlyInRuntimeModule)
         "raw-thread"));
 }
 
+TEST(LintToolTest, RawSleepBannedInLibraryCode)
+{
+    const std::string bad =
+        "std::this_thread::sleep_for(std::chrono::milliseconds(5));\n";
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/serving/a.cc", bad),
+                        "raw-sleep"));
+    EXPECT_TRUE(hasRule(lintContent("src/elasticrec/x/a.h",
+                                    "#pragma once\nnamespace erec {}\n"
+                                    "std::this_thread::sleep_until(t);\n"),
+                        "raw-sleep"));
+    // runtime/ gets no free pass: its waits go through condition
+    // variables with deadlines, not raw sleeps.
+    EXPECT_TRUE(hasRule(
+        lintContent("src/elasticrec/runtime/thread_pool.cc", bad),
+        "raw-sleep"));
+    // Tests and benches pace themselves however they like.
+    EXPECT_FALSE(hasRule(lintContent("tests/a_test.cpp", bad),
+                         "raw-sleep"));
+    EXPECT_FALSE(hasRule(lintContent("bench/b.cpp", bad), "raw-sleep"));
+    // Suppressible like every line rule.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.cc",
+                    "std::this_thread::sleep_for(d); "
+                    "// erec-lint: allow(raw-sleep)\n"),
+        "raw-sleep"));
+    // Mentions in comments are stripped before matching.
+    EXPECT_FALSE(hasRule(
+        lintContent("src/elasticrec/x/a.cc",
+                    "// std::this_thread::sleep_for is banned here\n"),
+        "raw-sleep"));
+}
+
 TEST(LintToolTest, RawIntrinsicsOnlyInKernelsModule)
 {
     const std::string inc = "#include <immintrin.h>\n";

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for common/ring.h: FIFO order across index wraparound at
+ * capacity, growth while the live window straddles the wrap point,
+ * at() indexing relative to a wrapped head, and reserve() rounding.
+ * The wraparound cases are regression guards — a masking bug in the
+ * power-of-two index math only shows once head_ has lapped the buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "elasticrec/common/ring.h"
+
+namespace erec {
+namespace {
+
+TEST(RingTest, FifoAcrossWraparoundAtCapacity)
+{
+    Ring<int> ring;
+    ring.reserve(8);
+    ASSERT_EQ(ring.capacity(), 8u);
+
+    // Lap the buffer several times at exactly full capacity: each
+    // iteration pops one from the front and pushes one at the back, so
+    // head_ sweeps the whole index range with count_ == capacity.
+    for (int i = 0; i < 8; ++i)
+        ring.push(i);
+    for (int i = 8; i < 40; ++i) {
+        EXPECT_EQ(ring.size(), 8u);
+        EXPECT_EQ(ring.front(), i - 8);
+        EXPECT_EQ(ring.pop(), i - 8);
+        ring.push(i);
+        EXPECT_EQ(ring.capacity(), 8u) << "full-capacity cycling must "
+                                          "not grow the backing store";
+    }
+    for (int i = 32; i < 40; ++i)
+        EXPECT_EQ(ring.pop(), i);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingTest, AtIndexesRelativeToWrappedHead)
+{
+    Ring<int> ring;
+    ring.reserve(8);
+    for (int i = 0; i < 8; ++i)
+        ring.push(i);
+    // Move head_ past the middle so the live window wraps.
+    for (int i = 0; i < 6; ++i)
+        ring.pop();
+    for (int i = 8; i < 13; ++i)
+        ring.push(i);
+    ASSERT_EQ(ring.size(), 7u);
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        EXPECT_EQ(ring.at(i), static_cast<int>(i) + 6);
+}
+
+TEST(RingTest, GrowthWhileWrappedPreservesFifoOrder)
+{
+    Ring<int> ring;
+    ring.reserve(8);
+    for (int i = 0; i < 8; ++i)
+        ring.push(i);
+    for (int i = 0; i < 5; ++i)
+        ring.pop();
+    for (int i = 8; i < 13; ++i)
+        ring.push(i); // Window now straddles the wrap point.
+    ASSERT_EQ(ring.size(), 8u);
+    ASSERT_EQ(ring.capacity(), 8u);
+
+    // The next push overflows and re-linearizes into a doubled buffer;
+    // the wrapped window must come out in FIFO order.
+    ring.push(13);
+    EXPECT_EQ(ring.capacity(), 16u);
+    std::vector<int> drained;
+    while (!ring.empty())
+        drained.push_back(ring.pop());
+    EXPECT_EQ(drained, (std::vector<int>{5, 6, 7, 8, 9, 10, 11, 12, 13}));
+}
+
+TEST(RingTest, ReserveRoundsToPowerOfTwoAndNeverShrinks)
+{
+    Ring<int> ring;
+    EXPECT_EQ(ring.capacity(), 0u);
+    ring.reserve(1);
+    EXPECT_EQ(ring.capacity(), 8u); // First growth starts at 8.
+    ring.reserve(20);
+    EXPECT_EQ(ring.capacity(), 32u);
+    ring.reserve(4);
+    EXPECT_EQ(ring.capacity(), 32u);
+
+    // clear() resets the window but keeps the storage.
+    for (int i = 0; i < 10; ++i)
+        ring.push(i);
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.capacity(), 32u);
+    ring.push(99);
+    EXPECT_EQ(ring.front(), 99);
+}
+
+} // namespace
+} // namespace erec

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * CLI of the static concurrency-discipline gate:
+ *
+ *     erec_conclint --root src [--root <dir>...] [--format text|json]
+ *
+ * Walks the given roots (relative to the current directory, which
+ * should be the repo root so paths in reports are repo-relative),
+ * builds the lock-acquisition graph, and reports lock-order inversion
+ * cycles, blocking-under-lock sites and annotation-coverage gaps
+ * (tools/conclint/concl_core.h). Exit codes follow the benchdiff
+ * convention: 0 = clean, 1 = violations, 2 = usage error. CI runs
+ * `--format json` and uploads the document as the concurrency-report
+ * artifact.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/conclint/concl_core.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) {
+        std::cerr << "erec_conclint: cannot read " << path << "\n";
+        std::exit(2);
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+bool
+isCxxFile(const fs::path &path)
+{
+    const auto ext = path.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".h" || ext == ".hpp";
+}
+
+void
+usage()
+{
+    std::cerr << "usage: erec_conclint --root <dir> [--root <dir>...]"
+                 " [--format text|json]\n";
+    std::exit(2);
+}
+
+/** Repo-relative spelling of a scanned path ("./src/x" -> "src/x"). */
+std::string
+repoRelative(const fs::path &path)
+{
+    std::string out = path.generic_string();
+    while (out.rfind("./", 0) == 0)
+        out = out.substr(2);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> roots;
+    std::string format = "text";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            roots.push_back(argv[++i]);
+        } else if (arg == "--format" && i + 1 < argc) {
+            format = argv[++i];
+        } else {
+            usage();
+        }
+    }
+    if (roots.empty() || (format != "text" && format != "json"))
+        usage();
+
+    erec::conclint::FileSet files;
+    for (const auto &root : roots) {
+        if (fs::is_regular_file(root)) {
+            files[repoRelative(root)] = readFile(root);
+            continue;
+        }
+        if (!fs::is_directory(root)) {
+            std::cerr << "erec_conclint: no such file or directory: "
+                      << root << "\n";
+            return 2;
+        }
+        for (const auto &entry : fs::recursive_directory_iterator(root)) {
+            if (entry.is_regular_file() && isCxxFile(entry.path()))
+                files[repoRelative(entry.path())] = readFile(entry.path());
+        }
+    }
+
+    const auto analysis = erec::conclint::analyze(files);
+    if (format == "json") {
+        std::cout << erec::conclint::renderJson(analysis);
+    } else {
+        (analysis.pass() ? std::cout : std::cerr)
+            << erec::conclint::renderText(analysis);
+    }
+    return analysis.pass() ? 0 : 1;
+}

@@ -50,11 +50,13 @@ splitLines(const std::string &content)
     return lines;
 }
 
+} // namespace
+
 /**
  * Blank preprocessor directives (including `\` continuations) in
  * already-stripped text, preserving newlines, so `#define ERC_HOT_PATH`
  * in common/hotpath.h never registers as an annotation and macro
- * bodies never contribute calls.
+ * bodies never contribute calls. Non-static: erec_conclint reuses it.
  */
 std::string
 blankPreprocessorLines(const std::string &stripped)
@@ -106,6 +108,8 @@ blankPreprocessorLines(const std::string &stripped)
     }
     return out;
 }
+
+namespace {
 
 /** 1-based line number of offset `pos` in `text`. */
 int

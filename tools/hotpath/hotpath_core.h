@@ -121,6 +121,15 @@ struct Analysis
 std::vector<FunctionDef> extractFunctions(const std::string &path,
                                           const std::string &content);
 
+/**
+ * Blank preprocessor directives (including `\` continuations) in
+ * already-stripped text, preserving newlines. Exposed so erec_conclint
+ * can reuse the exact strip -> blank -> extract pipeline the hotpath
+ * pass runs; diverging copies would make the two gates disagree on
+ * what counts as code.
+ */
+std::string blankPreprocessorLines(const std::string &stripped);
+
 /** Run the full pass over a file set. */
 Analysis analyze(const FileSet &files);
 

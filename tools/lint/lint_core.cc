@@ -128,6 +128,7 @@ lineRules()
             {FileClass::LibrarySource, FileClass::LibraryHeader},
             {"common/error.h"},
             {},
+            {},
         },
         {
             "unseeded-random",
@@ -141,6 +142,7 @@ lineRules()
              FileClass::ExampleSource},
             {"common/rng.h", "common/rng.cc"},
             {},
+            {},
         },
         {
             "windowed-percentile",
@@ -152,6 +154,7 @@ lineRules()
             {FileClass::LibrarySource, FileClass::LibraryHeader,
              FileClass::BenchSource, FileClass::ExampleSource},
             {"common/stats.h", "common/stats.cc"},
+            {},
             {},
         },
         {
@@ -165,6 +168,20 @@ lineRules()
              FileClass::BenchSource, FileClass::ExampleSource},
             {},
             {"runtime"},
+            {},
+        },
+        {
+            "raw-sleep",
+            std::regex(R"(\bstd\s*::\s*this_thread\s*::\s*)"
+                       R"(sleep_(for|until)\b)"),
+            "raw sleep in library code defeats the sim's deterministic "
+            "clock and hides latency from the tracer; wait on a "
+            "condition variable with a deadline, or drive time through "
+            "sim::Clock",
+            {FileClass::LibrarySource, FileClass::LibraryHeader},
+            {},
+            {},
+            {},
         },
         {
             "raw-intrinsics",
@@ -179,6 +196,7 @@ lineRules()
              FileClass::BenchSource, FileClass::ExampleSource},
             {},
             {"kernels"},
+            {},
         },
         {
             "iostream-in-library",
